@@ -1,0 +1,165 @@
+// Command gfdist runs the distributed Gandiva_fair deployment: one
+// process as the central scheduler, one process per GPU server as an
+// agent, speaking the Register/RoundPlan/RoundReport protocol over
+// TCP.
+//
+// Start the central scheduler (it waits for agents, then schedules):
+//
+//	gfdist central -listen 127.0.0.1:7070 -agents 4 -users 4 -jobs 20
+//
+// Start one agent per server (in other terminals or on other hosts):
+//
+//	gfdist agent -connect 127.0.0.1:7070 -name agent-0 -gen V100 -gpus 4
+//
+// The agents exit when the central scheduler finishes and sends
+// Shutdown.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/distrib"
+	"repro/internal/gpu"
+	"repro/internal/job"
+	"repro/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "central":
+		runCentral(os.Args[2:])
+	case "agent":
+		runAgent(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  gfdist central -listen ADDR -agents N [-users N -jobs N -hours H -no-trading]
+  gfdist agent   -connect ADDR -name NAME -gen GEN -gpus N`)
+	os.Exit(2)
+}
+
+func runCentral(args []string) {
+	fs := flag.NewFlagSet("central", flag.ExitOnError)
+	var (
+		listen    = fs.String("listen", "127.0.0.1:7070", "address to listen on")
+		agents    = fs.Int("agents", 2, "number of agents to wait for")
+		users     = fs.Int("users", 4, "number of users")
+		jobs      = fs.Int("jobs", 20, "jobs per user")
+		meanHours = fs.Float64("mean-hours", 1, "mean standalone K80 runtime per job")
+		rounds    = fs.Int("rounds", 500, "maximum scheduling rounds")
+		quantum   = fs.Float64("quantum", 360, "virtual seconds of training per round")
+		seed      = fs.Int64("seed", 1, "deterministic workload seed")
+		noTrading = fs.Bool("no-trading", false, "disable resource trading")
+		waitSecs  = fs.Int("wait", 60, "seconds to wait for agent registration")
+	)
+	fs.Parse(args)
+
+	srv, err := comm.ListenTCP("central", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("central scheduler listening on %s, waiting for %d agents...\n", srv.Addr(), *agents)
+
+	zoo := workload.DefaultZoo()
+	names := zoo.Names()
+	var userSpecs []workload.UserSpec
+	for i := 0; i < *users; i++ {
+		userSpecs = append(userSpecs, workload.UserSpec{
+			User:    job.UserID(fmt.Sprintf("user%02d", i+1)),
+			NumJobs: *jobs, MeanK80Hours: *meanHours,
+			Models: []string{names[i%len(names)], names[(i+5)%len(names)]},
+			// Demo deployments are small; keep gangs modest so every
+			// job fits a single server generation.
+			GangDist: []workload.GangWeight{
+				{Gang: 1, Weight: 0.7}, {Gang: 2, Weight: 0.2}, {Gang: 4, Weight: 0.1},
+			},
+		})
+	}
+	specs, err := workload.Generate(zoo, workload.Config{Seed: *seed, Users: userSpecs})
+	if err != nil {
+		fatal(err)
+	}
+
+	policy, err := core.NewFairPolicy(core.FairConfig{EnableTrading: !*noTrading})
+	if err != nil {
+		fatal(err)
+	}
+	central, err := distrib.NewCentral(srv, policy, distrib.CentralConfig{
+		Specs:   specs,
+		Quantum: *quantum,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := central.WaitForAgents(*agents, time.Duration(*waitSecs)*time.Second); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%d agents registered; scheduling %d jobs...\n", *agents, len(specs))
+
+	sum, err := central.Run(*rounds)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nran %d rounds (%.1f virtual hours)\n", sum.Rounds, sum.VirtualSeconds/3600)
+	fmt.Printf("finished %d jobs, %d unfinished, %d missed agent reports\n",
+		len(sum.Finished), sum.Unfinished, sum.MissedReports)
+	var us []job.UserID
+	for u := range sum.UsageByUser {
+		us = append(us, u)
+	}
+	sort.Slice(us, func(i, j int) bool { return us[i] < us[j] })
+	for _, u := range us {
+		fmt.Printf("  %-8s %8.1f GPU-hours\n", u, sum.UsageByUser[u]/3600)
+	}
+}
+
+func runAgent(args []string) {
+	fs := flag.NewFlagSet("agent", flag.ExitOnError)
+	var (
+		connect = fs.String("connect", "127.0.0.1:7070", "central scheduler address")
+		name    = fs.String("name", "", "unique agent name (required)")
+		genStr  = fs.String("gen", "V100", "GPU generation of this server")
+		gpus    = fs.Int("gpus", 4, "GPUs on this server")
+	)
+	fs.Parse(args)
+	if *name == "" {
+		fatal(fmt.Errorf("agent needs -name"))
+	}
+	gen, err := gpu.ParseGeneration(*genStr)
+	if err != nil {
+		fatal(err)
+	}
+	cli, err := comm.DialTCP(*name, *connect)
+	if err != nil {
+		fatal(err)
+	}
+	defer cli.Close()
+	agent, err := distrib.NewAgent(cli, "central", gen, *gpus)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("agent %s (%d× %v) serving %s\n", *name, *gpus, gen, *connect)
+	if err := agent.Run(); err != nil {
+		fatal(err)
+	}
+	fmt.Println("shut down by central scheduler")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gfdist:", err)
+	os.Exit(1)
+}

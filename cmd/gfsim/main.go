@@ -1,0 +1,259 @@
+// Command gfsim runs one cluster-scheduling scenario and reports
+// fairness and efficiency metrics; optionally it dumps the event
+// trace as CSV or JSON for offline analysis.
+//
+// Usage:
+//
+//	gfsim -policy gandiva-fair -users 6 -jobs 40 -hours 48
+//	gfsim -policy tiresias -cluster k80=12x4,v100=12x4 -trace-out run.csv
+//	gfsim -policy gandiva-fair -no-trading -quantum 60
+//	gfsim -scenario scenarios/trading.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/scenario"
+	"repro/internal/simclock"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		policyName = flag.String("policy", "gandiva-fair", "gandiva-fair | tiresias | gandiva-rr | static | fifo")
+		noTrading  = flag.Bool("no-trading", false, "disable resource trading (gandiva-fair only)")
+		clusterStr = flag.String("cluster", "default200", `inventory, e.g. "k80=12x4,v100=12x4" (servers x GPUs), or "default200"`)
+		users      = flag.Int("users", 6, "number of users")
+		jobs       = flag.Int("jobs", 40, "jobs per user")
+		arrival    = flag.Float64("arrival", 2, "job arrivals per hour per user (0 = all at t=0)")
+		meanHours  = flag.Float64("mean-hours", 4, "mean standalone K80 runtime per job")
+		hours      = flag.Float64("hours", 48, "simulation horizon in hours")
+		quantum    = flag.Float64("quantum", 360, "scheduling quantum in seconds")
+		seed       = flag.Int64("seed", 1, "deterministic seed")
+		noMigrate  = flag.Bool("no-migration", false, "pin jobs to their first servers")
+		traceOut   = flag.String("trace-out", "", "write the event trace to this file (.csv or .json)")
+		jobsIn     = flag.String("jobs-in", "", "load the job trace from this CSV (as written by gftrace) instead of generating one")
+		scenarioIn = flag.String("scenario", "", "load the ENTIRE scenario (cluster, users, policy, failures) from this JSON file; other flags are ignored")
+	)
+	flag.Parse()
+
+	if *scenarioIn != "" {
+		runScenario(*scenarioIn, *traceOut)
+		return
+	}
+
+	cluster, err := parseCluster(*clusterStr)
+	if err != nil {
+		fatal(err)
+	}
+
+	zoo := workload.DefaultZoo()
+	var userSpecs []workload.UserSpec
+	var userIDs []job.UserID
+	names := zoo.Names()
+	for i := 0; i < *users; i++ {
+		u := job.UserID(fmt.Sprintf("user%02d", i+1))
+		userIDs = append(userIDs, u)
+		// Each user leans on a distinct slice of the zoo so the
+		// speedup spread that trading exploits is present.
+		models := []string{names[i%len(names)], names[(i+3)%len(names)]}
+		userSpecs = append(userSpecs, workload.UserSpec{
+			User: u, NumJobs: *jobs, ArrivalRatePerHour: *arrival,
+			Models: models, MeanK80Hours: *meanHours,
+		})
+	}
+	var specs []job.Spec
+	if *jobsIn != "" {
+		f, err := os.Open(*jobsIn)
+		if err != nil {
+			fatal(err)
+		}
+		specs, err = workload.ReadCSV(f, zoo)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		userIDs = userIDs[:0]
+		seen := map[job.UserID]bool{}
+		for _, sp := range specs {
+			if !seen[sp.User] {
+				seen[sp.User] = true
+				userIDs = append(userIDs, sp.User)
+			}
+		}
+	} else {
+		var err error
+		specs, err = workload.Generate(zoo, workload.Config{Seed: *seed, Users: userSpecs})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	policy, err := makePolicy(*policyName, !*noTrading, userIDs)
+	if err != nil {
+		fatal(err)
+	}
+	sim, err := core.New(core.Config{
+		Cluster:          cluster,
+		Specs:            specs,
+		Quantum:          *quantum,
+		Seed:             *seed,
+		DisableMigration: *noMigrate,
+	}, policy)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := sim.Run(simclock.Time(*hours * simclock.Hour))
+	if err != nil {
+		fatal(err)
+	}
+	report(res, userIDs)
+
+	if *traceOut != "" {
+		if err := writeTrace(res, *traceOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nevent trace (%d events) written to %s\n", res.Log.Len(), *traceOut)
+	}
+}
+
+// runScenario executes a JSON scenario file end to end.
+func runScenario(path, traceOut string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	sc, err := scenario.Load(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	cfg, policy, horizon, err := sc.Build()
+	if err != nil {
+		fatal(err)
+	}
+	sim, err := core.New(cfg, policy)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := sim.Run(horizon)
+	if err != nil {
+		fatal(err)
+	}
+	var users []job.UserID
+	seen := map[job.UserID]bool{}
+	for _, sp := range cfg.Specs {
+		if !seen[sp.User] {
+			seen[sp.User] = true
+			users = append(users, sp.User)
+		}
+	}
+	report(res, users)
+	if traceOut != "" {
+		if err := writeTrace(res, traceOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nevent trace (%d events) written to %s\n", res.Log.Len(), traceOut)
+	}
+}
+
+func parseCluster(s string) (*gpu.Cluster, error) {
+	if s == "default200" {
+		return gpu.Default200(), nil
+	}
+	var specs []gpu.Spec
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad cluster element %q (want gen=SERVERSxGPUS)", part)
+		}
+		gen, err := gpu.ParseGeneration(strings.ToUpper(strings.TrimSpace(kv[0])))
+		if err != nil {
+			return nil, err
+		}
+		dims := strings.SplitN(kv[1], "x", 2)
+		if len(dims) != 2 {
+			return nil, fmt.Errorf("bad cluster shape %q (want SERVERSxGPUS)", kv[1])
+		}
+		srv, err1 := strconv.Atoi(dims[0])
+		gpus, err2 := strconv.Atoi(dims[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad cluster shape %q", kv[1])
+		}
+		specs = append(specs, gpu.Spec{Gen: gen, Servers: srv, GPUsPerSrv: gpus})
+	}
+	return gpu.New(specs...)
+}
+
+func makePolicy(name string, trading bool, users []job.UserID) (core.Policy, error) {
+	switch name {
+	case "gandiva-fair":
+		return core.NewFairPolicy(core.FairConfig{EnableTrading: trading})
+	case "tiresias":
+		return baselines.NewTiresias(baselines.TiresiasConfig{}), nil
+	case "gandiva-rr":
+		return baselines.NewGandivaRR(), nil
+	case "static":
+		return baselines.NewStaticQuota(users), nil
+	case "fifo":
+		return baselines.NewFIFO(), nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+func report(res *core.Result, users []job.UserID) {
+	fmt.Printf("policy      : %s\n", res.Policy)
+	fmt.Printf("rounds      : %d (simulated %.1f h)\n", res.Rounds, float64(res.End)/3600)
+	fmt.Printf("jobs        : %d finished, %d unfinished\n", len(res.Finished), res.Unfinished)
+	st := metrics.Summarize(res.JCTs())
+	if st.N > 0 {
+		fmt.Printf("JCT         : mean %.1f h, median %.1f h, p95 %.1f h\n",
+			st.Mean/3600, st.Median/3600, st.P95/3600)
+	}
+	fmt.Printf("utilization : %.1f%%\n", 100*res.Utilization.Fraction())
+	for _, g := range gpu.Generations() {
+		if u, ok := res.UtilByGen[g]; ok {
+			fmt.Printf("  %-5v     : %.1f%%\n", g, 100*u.Fraction())
+		}
+	}
+	fmt.Printf("migrations  : %d\n", res.Migrations)
+	fmt.Printf("trades      : %d\n", res.TradeCount)
+	fmt.Printf("share error : %.1f%% (max deviation from water-filled entitlement)\n",
+		100*res.MaxShareError())
+
+	usage := res.TotalUsageByUser()
+	ref := res.FairUsageByUser
+	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+	fmt.Println("per-user GPU-hours (actual vs entitled):")
+	for _, u := range users {
+		fmt.Printf("  %-8s %8.0f %8.0f\n", u, usage[u]/3600, ref[u]/3600)
+	}
+}
+
+func writeTrace(res *core.Result, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		return res.Log.WriteJSON(f)
+	}
+	return res.Log.WriteCSV(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gfsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/job"
+)
+
+func TestParseClusterDefault(t *testing.T) {
+	c, err := parseCluster("default200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumDevices() != 200 {
+		t.Fatalf("default200 has %d devices", c.NumDevices())
+	}
+}
+
+func TestParseClusterCustom(t *testing.T) {
+	c, err := parseCluster("k80=2x4,v100=3x8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Capacity(gpu.K80) != 8 || c.Capacity(gpu.V100) != 24 {
+		t.Fatalf("capacities K80=%d V100=%d", c.Capacity(gpu.K80), c.Capacity(gpu.V100))
+	}
+	if c.NumServers() != 5 {
+		t.Fatalf("servers = %d", c.NumServers())
+	}
+	// Case-insensitive generation names.
+	if _, err := parseCluster("P100=1x4"); err != nil {
+		t.Errorf("uppercase gen rejected: %v", err)
+	}
+}
+
+func TestParseClusterErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"k80",
+		"k80=2",
+		"k80=2x",
+		"k80=ax4",
+		"k80=2xb",
+		"tpu=2x4",
+		"k80=0x4",
+	} {
+		if _, err := parseCluster(bad); err == nil {
+			t.Errorf("parseCluster(%q) accepted", bad)
+		}
+	}
+}
+
+func TestMakePolicy(t *testing.T) {
+	users := []job.UserID{"a", "b"}
+	wantNames := map[string]string{
+		"gandiva-fair": "gandiva-fair",
+		"tiresias":     "tiresias-l",
+		"gandiva-rr":   "gandiva-rr",
+		"static":       "static-quota",
+		"fifo":         "fifo",
+	}
+	for arg, want := range wantNames {
+		p, err := makePolicy(arg, true, users)
+		if err != nil {
+			t.Fatalf("%s: %v", arg, err)
+		}
+		if p.Name() != want {
+			t.Errorf("makePolicy(%s).Name() = %q, want %q", arg, p.Name(), want)
+		}
+	}
+	if p, _ := makePolicy("gandiva-fair", false, users); p.Name() != "gandiva-fair-no-trade" {
+		t.Errorf("no-trading name = %q", p.Name())
+	}
+	if _, err := makePolicy("mystery", true, users); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}

@@ -1,0 +1,125 @@
+// Command gftrace generates and inspects synthetic multi-user DLT
+// workload traces (Philly-shaped distributions), the input format the
+// simulator consumes.
+//
+// Usage:
+//
+//	gftrace -users 8 -jobs 50 -seed 3            # summary statistics
+//	gftrace -users 8 -jobs 50 -csv trace.csv     # dump job list
+//	gftrace -models                              # print the model zoo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/gpu"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/simclock"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		users     = flag.Int("users", 6, "number of users")
+		jobs      = flag.Int("jobs", 40, "jobs per user")
+		arrival   = flag.Float64("arrival", 2, "arrivals per hour per user")
+		meanHours = flag.Float64("mean-hours", 4, "mean standalone K80 runtime")
+		seed      = flag.Int64("seed", 1, "deterministic seed")
+		csvOut    = flag.String("csv", "", "write the trace to this CSV file")
+		models    = flag.Bool("models", false, "print the model zoo and exit")
+	)
+	flag.Parse()
+
+	zoo := workload.DefaultZoo()
+	if *models {
+		printZoo(zoo)
+		return
+	}
+
+	var userSpecs []workload.UserSpec
+	for i := 0; i < *users; i++ {
+		userSpecs = append(userSpecs, workload.UserSpec{
+			User:    job.UserID(fmt.Sprintf("user%02d", i+1)),
+			NumJobs: *jobs, ArrivalRatePerHour: *arrival, MeanK80Hours: *meanHours,
+		})
+	}
+	specs, err := workload.Generate(zoo, workload.Config{Seed: *seed, Users: userSpecs})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gftrace:", err)
+		os.Exit(1)
+	}
+
+	summarize(specs)
+
+	if *csvOut != "" {
+		if err := writeTraceFile(specs, *csvOut); err != nil {
+			fmt.Fprintln(os.Stderr, "gftrace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n%d jobs written to %s\n", len(specs), *csvOut)
+	}
+}
+
+func printZoo(zoo *workload.Zoo) {
+	fmt.Printf("%-13s %10s %6s %6s %6s %6s %8s %8s\n",
+		"model", "K80 mb/s", "K80", "P40", "P100", "V100", "mem GB", "ckpt MB")
+	for _, r := range zoo.SpeedupTable() {
+		p := zoo.MustGet(r.Model)
+		fmt.Printf("%-13s %10.1f %6.2f %6.2f %6.2f %6.2f %8.1f %8.0f\n",
+			r.Model, p.RatePerGPU[gpu.K80],
+			r.Speedup[gpu.K80], r.Speedup[gpu.P40], r.Speedup[gpu.P100], r.Speedup[gpu.V100],
+			p.MemGBPerGPU, p.CheckpointMB)
+	}
+}
+
+func summarize(specs []job.Spec) {
+	gangs := map[int]int{}
+	modelCount := map[string]int{}
+	var hours []float64
+	var lastArrival simclock.Time
+	for _, s := range specs {
+		gangs[s.Gang]++
+		modelCount[s.Perf.Model]++
+		rate := s.Perf.RatePerGPU[gpu.K80] * float64(s.Gang) * s.Perf.GangEff(s.Gang)
+		hours = append(hours, s.TotalMB/rate/simclock.Hour)
+		if s.Arrival > lastArrival {
+			lastArrival = s.Arrival
+		}
+	}
+	fmt.Printf("jobs          : %d\n", len(specs))
+	fmt.Printf("arrival span  : %.1f h\n", float64(lastArrival)/3600)
+	st := metrics.Summarize(hours)
+	fmt.Printf("standalone K80 runtime: mean %.1f h, median %.1f h, p95 %.1f h, max %.1f h\n",
+		st.Mean, st.Median, st.P95, st.Max)
+	var gsizes []int
+	for g := range gangs {
+		gsizes = append(gsizes, g)
+	}
+	sort.Ints(gsizes)
+	fmt.Println("gang sizes    :")
+	for _, g := range gsizes {
+		fmt.Printf("  %2d GPUs: %4d jobs (%.1f%%)\n", g, gangs[g], 100*float64(gangs[g])/float64(len(specs)))
+	}
+	var names []string
+	for m := range modelCount {
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	fmt.Println("models        :")
+	for _, m := range names {
+		fmt.Printf("  %-13s %4d\n", m, modelCount[m])
+	}
+}
+
+func writeTraceFile(specs []job.Spec, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return workload.WriteCSV(f, specs)
+}

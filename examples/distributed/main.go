@@ -1,0 +1,99 @@
+// Distributed deployment: the central scheduler and four server
+// agents run as separate goroutines connected over real TCP loopback
+// sockets, speaking the Register / RoundPlan / RoundReport protocol.
+// Job state crosses the wire on every placement (Gandiva's checkpoint
+// semantics), so agents are stateless and migration is just a plan
+// that names a different server.
+//
+// In production the agents would be processes on GPU servers; the
+// protocol, scheduler logic and placement are exactly what runs here.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	gf "repro"
+)
+
+func main() {
+	central, err := gf.ListenTCP("central", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer central.Close()
+	fmt.Printf("central scheduler listening on %s\n", central.Addr())
+
+	// Four agents: two K80 servers and two V100 servers, 4 GPUs each.
+	servers := []struct {
+		name string
+		gen  gf.Generation
+	}{
+		{"agent-k80-0", gf.K80}, {"agent-k80-1", gf.K80},
+		{"agent-v100-0", gf.V100}, {"agent-v100-1", gf.V100},
+	}
+	agentDone := make(chan error, len(servers))
+	for _, s := range servers {
+		tr, err := gf.DialTCP(s.name, central.Addr())
+		if err != nil {
+			log.Fatal(err)
+		}
+		agent, err := gf.NewAgent(tr, "central", s.gen, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func(name string) {
+			agentDone <- agent.Run()
+			fmt.Printf("  %s shut down\n", name)
+		}(s.name)
+	}
+
+	// A mixed workload from two users.
+	zoo := gf.DefaultZoo()
+	var specs []gf.JobSpec
+	specs = append(specs, gf.BatchJobs("alice", zoo.MustGet("resnet50"), 4, 2, 1.0)...)
+	specs = append(specs, gf.BatchJobs("bob", zoo.MustGet("vae"), 6, 1, 1.0)...)
+	specs, err = gf.AssignIDs(specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	coord, err := gf.NewCentral(central,
+		gf.MustNewScheduler(gf.SchedulerConfig{EnableTrading: true}),
+		gf.CentralConfig{Specs: specs, Quantum: 360})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := coord.WaitForAgents(len(servers), 5*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d agents registered; scheduling...\n", len(servers))
+
+	sum, err := coord.Run(200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nran %d rounds (%.1f simulated hours of training)\n",
+		sum.Rounds, sum.VirtualSeconds/gf.Hour)
+	fmt.Printf("finished %d jobs, %d unfinished\n", len(sum.Finished), sum.Unfinished)
+	for _, j := range sum.Finished {
+		fmt.Printf("  job %2d user=%-6s model=%-9s gang=%d JCT=%5.2fh migrations=%d\n",
+			j.ID, j.User, j.Perf.Model, j.Gang, j.JCT()/gf.Hour, j.Migrations())
+	}
+
+	var users []gf.UserID
+	for u := range sum.UsageByUser {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+	fmt.Println("\nGPU-hours per user:")
+	for _, u := range users {
+		fmt.Printf("  %-6s %.1f\n", u, sum.UsageByUser[u]/3600)
+	}
+
+	for range servers {
+		<-agentDone
+	}
+}

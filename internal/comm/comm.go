@@ -1,0 +1,173 @@
+// Package comm provides the message protocol and transports for
+// Gandiva_fair's distributed architecture: a central scheduler
+// exchanging typed messages with per-server agents. Two transports
+// are provided — an in-memory hub (deterministic tests, examples)
+// and TCP with gob encoding (the real wire, exercised by
+// examples/distributed) — behind one Transport interface, so the
+// scheduler and agents are oblivious to which carries them.
+package comm
+
+import (
+	"encoding/gob"
+	"fmt"
+	"sync"
+)
+
+// Message is a protocol message. Concrete types are registered with
+// gob in this package's init so they cross the TCP transport.
+type Message interface{}
+
+// Envelope wraps a message with its sender.
+type Envelope struct {
+	From string
+	Msg  Message
+}
+
+// Transport moves envelopes between named endpoints.
+type Transport interface {
+	// Send delivers to the named endpoint. It must not block
+	// indefinitely; delivery to a closed endpoint returns an error.
+	Send(to string, e Envelope) error
+	// Recv returns the endpoint's inbox channel; it is closed when
+	// the transport closes.
+	Recv() <-chan Envelope
+	// Name returns this endpoint's address.
+	Name() string
+	// Close tears the endpoint down.
+	Close() error
+}
+
+// ---------------------------------------------------------------------------
+// Protocol messages
+
+// Register announces an agent and its server inventory.
+type Register struct {
+	Agent string
+	Gen   int // gpu.Generation as int (gob-friendly)
+	GPUs  int
+}
+
+// RegisterAck confirms registration.
+type RegisterAck struct {
+	OK     bool
+	Reason string
+}
+
+// JobAssignment places one job on an agent for the coming quantum.
+type JobAssignment struct {
+	JobID     int64
+	User      string
+	Model     string
+	Gang      int
+	LocalGPUs []int // indices within the agent's server
+	// Checkpoint carries the job's training state on (re)placement:
+	// minibatches done and total. The agent is stateless across
+	// migrations — exactly Gandiva's checkpoint semantics.
+	DoneMB, TotalMB float64
+	GangRate        float64 // whole-gang minibatches/sec on this agent's generation
+	Overhead        float64 // seconds lost to resume/migration this quantum
+}
+
+// RoundPlan is the central scheduler's decision for one agent.
+type RoundPlan struct {
+	Round   int
+	Quantum float64 // seconds of training time this round
+	Jobs    []JobAssignment
+}
+
+// JobProgress reports one job's state after a round.
+type JobProgress struct {
+	JobID    int64
+	DoneMB   float64
+	Finished bool
+	UsedSecs float64 // productive seconds within the quantum
+}
+
+// RoundReport is an agent's response to a RoundPlan.
+type RoundReport struct {
+	Agent string
+	Round int
+	Jobs  []JobProgress
+}
+
+// Shutdown tells an agent to exit.
+type Shutdown struct{}
+
+func init() {
+	gob.Register(Register{})
+	gob.Register(RegisterAck{})
+	gob.Register(RoundPlan{})
+	gob.Register(RoundReport{})
+	gob.Register(Shutdown{})
+}
+
+// ---------------------------------------------------------------------------
+// In-memory hub
+
+// Hub is an in-process transport fabric. Endpoints attach by name and
+// exchange envelopes through buffered channels.
+type Hub struct {
+	mu        sync.Mutex
+	endpoints map[string]*hubEndpoint
+}
+
+// NewHub creates an empty hub.
+func NewHub() *Hub {
+	return &Hub{endpoints: make(map[string]*hubEndpoint)}
+}
+
+type hubEndpoint struct {
+	hub    *Hub
+	name   string
+	inbox  chan Envelope
+	closed bool
+	mu     sync.Mutex
+}
+
+// Attach creates an endpoint on the hub. Names must be unique.
+func (h *Hub) Attach(name string) (Transport, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, dup := h.endpoints[name]; dup {
+		return nil, fmt.Errorf("comm: endpoint %q already attached", name)
+	}
+	ep := &hubEndpoint{hub: h, name: name, inbox: make(chan Envelope, 256)}
+	h.endpoints[name] = ep
+	return ep, nil
+}
+
+func (e *hubEndpoint) Send(to string, env Envelope) error {
+	e.hub.mu.Lock()
+	dst, ok := e.hub.endpoints[to]
+	e.hub.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("comm: no endpoint %q", to)
+	}
+	dst.mu.Lock()
+	defer dst.mu.Unlock()
+	if dst.closed {
+		return fmt.Errorf("comm: endpoint %q closed", to)
+	}
+	select {
+	case dst.inbox <- env:
+		return nil
+	default:
+		return fmt.Errorf("comm: endpoint %q inbox full", to)
+	}
+}
+
+func (e *hubEndpoint) Recv() <-chan Envelope { return e.inbox }
+func (e *hubEndpoint) Name() string          { return e.name }
+
+func (e *hubEndpoint) Close() error {
+	e.hub.mu.Lock()
+	delete(e.hub.endpoints, e.name)
+	e.hub.mu.Unlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.closed {
+		e.closed = true
+		close(e.inbox)
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/job"
+	"repro/internal/simclock"
+	"repro/internal/workload"
+)
+
+func TestFailureValidation(t *testing.T) {
+	specs := workload.BatchJobs("u", zoo.MustGet("vae"), 1, 1, 1)
+	specs, _ = workload.AssignIDs(specs)
+	base := Config{Cluster: k80Cluster(2, 4), Specs: specs}
+	bad := [][]Failure{
+		{{Server: 99, At: 0, Duration: 100}},
+		{{Server: -1, At: 0, Duration: 100}},
+		{{Server: 0, At: -5, Duration: 100}},
+		{{Server: 0, At: 0, Duration: 0}},
+	}
+	for i, f := range bad {
+		cfg := base
+		cfg.Failures = f
+		if cfg.Validate() == nil {
+			t.Errorf("bad failure %d accepted", i)
+		}
+	}
+	good := base
+	good.Failures = []Failure{{Server: 1, At: 3600, Duration: 7200}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid failure rejected: %v", err)
+	}
+}
+
+func TestJobSurvivesServerFailure(t *testing.T) {
+	// One job on a 2-server cluster; its server fails mid-run. The job
+	// must restart from checkpoint on the other server (one migration)
+	// and still finish, paying only the restart cost.
+	specs := workload.BatchJobs("u", zoo.MustGet("resnet50"), 1, 2, 2.0)
+	specs, _ = workload.AssignIDs(specs)
+	res := runFair(t, Config{
+		Cluster: k80Cluster(2, 2),
+		Specs:   specs,
+		Seed:    1,
+		Failures: []Failure{
+			// The job lands on server 0 (best fit, lowest ID); kill it
+			// after an hour for two hours.
+			{Server: 0, At: simclock.Time(simclock.Hour), Duration: 2 * simclock.Hour},
+		},
+	}, FairConfig{}, simclock.Time(12*simclock.Hour))
+	if len(res.Finished) != 1 {
+		t.Fatalf("job did not survive the failure (finished=%d)", len(res.Finished))
+	}
+	j := res.Finished[0]
+	if j.Migrations() < 1 {
+		t.Errorf("job recovered without a migration?")
+	}
+	// 2 h of work plus a restart: must beat the 3 h it would take if
+	// it had waited out the outage.
+	if jct := j.JCT(); jct > 3*simclock.Hour {
+		t.Errorf("JCT %v — recovery did not move the job off the dead server", jct)
+	}
+	// The job finishes before the server recovers, so only the failure
+	// transition is observable.
+	if len(res.Log.Filter("failure")) != 1 {
+		t.Errorf("failure event not logged")
+	}
+}
+
+func TestFailureWithMigrationDisabledStrands(t *testing.T) {
+	specs := workload.BatchJobs("u", zoo.MustGet("resnet50"), 1, 2, 2.0)
+	specs, _ = workload.AssignIDs(specs)
+	res := runFair(t, Config{
+		Cluster:          k80Cluster(2, 2),
+		Specs:            specs,
+		Seed:             1,
+		DisableMigration: true,
+		Failures: []Failure{
+			{Server: 0, At: simclock.Time(simclock.Hour), Duration: 2 * simclock.Hour},
+		},
+	}, FairConfig{}, simclock.Time(12*simclock.Hour))
+	if len(res.Finished) != 1 {
+		t.Fatalf("job never finished")
+	}
+	// Pinned to the failed server: it must wait out the 2 h outage.
+	if jct := res.Finished[0].JCT(); jct < 4*simclock.Hour-400 {
+		t.Errorf("JCT %v — job should have waited out the outage when pinned", jct)
+	}
+	if res.Migrations != 0 {
+		t.Errorf("migrated despite DisableMigration")
+	}
+}
+
+func TestCapacityAccountingDuringFailure(t *testing.T) {
+	// A solo saturating user: utilization should stay ≈1 because the
+	// capacity denominator excludes the failed server.
+	specs := workload.BatchJobs("u", zoo.MustGet("lstm"), 8, 1, 1e6)
+	specs, _ = workload.AssignIDs(specs)
+	res := runFair(t, Config{
+		Cluster: k80Cluster(2, 4),
+		Specs:   specs,
+		Seed:    2,
+		Failures: []Failure{
+			{Server: 1, At: 0, Duration: 6 * simclock.Hour},
+		},
+	}, FairConfig{}, simclock.Time(6*simclock.Hour))
+	if u := res.Utilization.Fraction(); u < 0.95 {
+		t.Errorf("utilization %v with failure-adjusted capacity, want ≥0.95", u)
+	}
+	// And usage must fit within the surviving half.
+	var total float64
+	for _, v := range res.TotalUsageByUser() {
+		total += v
+	}
+	if total > 4*6*simclock.Hour*1.01 {
+		t.Errorf("used %v GPU-s, more than the surviving server offers", total)
+	}
+}
+
+func TestFairnessAcrossFailure(t *testing.T) {
+	// Two equal users; one server dies for a while. Shares must stay
+	// equal — the shrunken cluster is still split fairly.
+	var specs []job.Spec
+	specs = append(specs, workload.BatchJobs("a", zoo.MustGet("lstm"), 6, 1, 1e6)...)
+	specs = append(specs, workload.BatchJobs("b", zoo.MustGet("gru"), 6, 1, 1e6)...)
+	specs, _ = workload.AssignIDs(specs)
+	res := runFair(t, Config{
+		Cluster: k80Cluster(3, 4),
+		Specs:   specs,
+		Seed:    3,
+		Failures: []Failure{
+			{Server: 1, At: simclock.Time(2 * simclock.Hour), Duration: 4 * simclock.Hour},
+		},
+	}, FairConfig{}, simclock.Time(12*simclock.Hour))
+	sh := shares(res)
+	if d := sh["a"] - sh["b"]; d > 0.05 || d < -0.05 {
+		t.Fatalf("shares diverged across failure: %v", sh)
+	}
+	if err := resMaxShareErrBelow(res, 0.05); err != nil {
+		t.Error(err)
+	}
+}
+
+func resMaxShareErrBelow(res *Result, limit float64) error {
+	if e := res.MaxShareError(); e > limit {
+		return &shareErr{e}
+	}
+	return nil
+}
+
+type shareErr struct{ e float64 }
+
+func (s *shareErr) Error() string { return "share error too high" }
+
+func TestRepeatedFailuresDoNotLoseJobs(t *testing.T) {
+	// Rolling outages across every server; all jobs must still finish
+	// (checkpoint restart is lossless) and the engine must never
+	// double-book a device.
+	specs := workload.MustGenerate(zoo, workload.Config{
+		Seed: 4,
+		Users: []workload.UserSpec{{
+			User: "u", NumJobs: 10, ArrivalRatePerHour: 2, MeanK80Hours: 1,
+			GangDist: []workload.GangWeight{{Gang: 1, Weight: 0.7}, {Gang: 2, Weight: 0.3}},
+		}},
+		MaxK80Hours: 3,
+	})
+	var failures []Failure
+	for s := 0; s < 3; s++ {
+		failures = append(failures, Failure{
+			Server:   gpu.ServerID(s),
+			At:       simclock.Time(float64(s+1) * 2 * simclock.Hour),
+			Duration: simclock.Hour,
+		})
+	}
+	res := runFair(t, Config{
+		Cluster:  k80Cluster(3, 4),
+		Specs:    specs,
+		Seed:     4,
+		Failures: failures,
+	}, FairConfig{}, simclock.Time(2*simclock.Day))
+	if res.Unfinished != 0 {
+		t.Fatalf("%d jobs lost to rolling failures", res.Unfinished)
+	}
+	if got := len(res.Log.Filter("failure")); got != 3 {
+		t.Errorf("%d failure events, want 3", got)
+	}
+}

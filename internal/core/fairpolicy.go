@@ -1,0 +1,503 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fairshare"
+	"repro/internal/gpu"
+	"repro/internal/job"
+	"repro/internal/placement"
+	"repro/internal/stride"
+	"repro/internal/trade"
+)
+
+// FairConfig tunes the Gandiva_fair policy.
+type FairConfig struct {
+	// EnableTrading turns the automatic resource trading on (the
+	// paper's full system). Off, the policy is the
+	// heterogeneity-blind fair scheduler (the paper's no-trade
+	// baseline).
+	EnableTrading bool
+
+	// Trade configures the trading loop when enabled.
+	Trade trade.Config
+
+	// MinSamples is how many profiler observations a job needs on a
+	// generation before its estimate feeds trading. Zero means 1.
+	MinSamples int
+
+	// MigrationCooldown is the minimum number of rounds between
+	// generation changes for one job, damping migration thrash when a
+	// user's entitlement straddles generations. Zero means 10.
+	MigrationCooldown int
+
+	// Hierarchy, when set, replaces the flat per-user tickets with
+	// two-level org → user fairness: each round the orgs' tickets are
+	// flattened over the currently active users (see
+	// fairshare.Hierarchy). RoundState tickets are then ignored.
+	Hierarchy *fairshare.Hierarchy
+}
+
+// FairPolicy implements Gandiva_fair: ticket fair share with
+// water-filling, per-user gang-aware stride scheduling realized
+// through per-(user, generation) deficit credits, work-conserving
+// backfill, and optional automatic trading.
+//
+// Fairness mechanics per round:
+//
+//  1. Water-filling splits cluster capacity among active users by
+//     tickets, capped by demand (fairshare.ComputeAllocation), then
+//     trading (optionally) exchanges entitlement between generations
+//     at Pareto prices.
+//  2. Each user's per-generation entitlement accrues into a credit
+//     counter. A gang is scheduled against credits, so a user whose
+//     big gang does not fit this round keeps accumulating credit and
+//     catches up later — gang granularity cannot cause starvation.
+//  3. Within a user, jobs are picked in gang-aware stride pass
+//     order, so a user cannot bias their own jobs' shares by
+//     splitting or merging work. Jobs stick to the generation they
+//     last ran on when credit allows, and generation changes are
+//     rate-limited by a cooldown to damp migration thrash.
+//  4. Capacity left after all credits are spent is backfilled by a
+//     global stride pass (charged, so chronic backfillers are
+//     deprioritized) — work conservation without violating anyone's
+//     guarantee.
+type FairPolicy struct {
+	cfg FairConfig
+
+	userSched map[job.UserID]*stride.Scheduler
+	backfill  *stride.Scheduler
+	credit    map[job.UserID]fairshare.Entitlement
+	jobUser   map[job.ID]job.UserID
+
+	round     int
+	noMigrate bool           // engine refuses migrations this run
+	lastMig   map[job.ID]int // round of the job's last generation change
+
+	// pending maps jobs scheduled this round to their charging info,
+	// consumed by Executed.
+	pending map[job.ID]chargeInfo
+}
+
+type chargeInfo struct {
+	user       job.UserID
+	gen        gpu.Generation
+	gang       int
+	jobTickets float64
+	viaCredit  bool
+}
+
+// NewFairPolicy constructs the policy.
+func NewFairPolicy(cfg FairConfig) (*FairPolicy, error) {
+	if cfg.MinSamples == 0 {
+		cfg.MinSamples = 1
+	}
+	if cfg.MinSamples < 0 {
+		return nil, fmt.Errorf("core: negative MinSamples")
+	}
+	if cfg.MigrationCooldown == 0 {
+		cfg.MigrationCooldown = 10
+	}
+	if cfg.MigrationCooldown < 0 {
+		return nil, fmt.Errorf("core: negative MigrationCooldown")
+	}
+	if err := cfg.Trade.Validate(); err != nil {
+		return nil, err
+	}
+	return &FairPolicy{
+		cfg:       cfg,
+		userSched: make(map[job.UserID]*stride.Scheduler),
+		backfill:  stride.New(stride.GangAware),
+		credit:    make(map[job.UserID]fairshare.Entitlement),
+		jobUser:   make(map[job.ID]job.UserID),
+		lastMig:   make(map[job.ID]int),
+		pending:   make(map[job.ID]chargeInfo),
+	}, nil
+}
+
+// MustNewFairPolicy is NewFairPolicy but panics on bad config.
+func MustNewFairPolicy(cfg FairConfig) *FairPolicy {
+	p, err := NewFairPolicy(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Name implements Policy.
+func (p *FairPolicy) Name() string {
+	if p.cfg.EnableTrading {
+		return "gandiva-fair"
+	}
+	return "gandiva-fair-no-trade"
+}
+
+// Decide implements Policy.
+func (p *FairPolicy) Decide(st *RoundState) Decision {
+	byUser := groupByUser(st.Jobs)
+	users := sortedUsers(byUser)
+	caps := st.CapacityByGen()
+
+	// 1. Fair share.
+	tickets := st.Tickets
+	if p.cfg.Hierarchy != nil {
+		tickets = p.cfg.Hierarchy.Flatten(users)
+	}
+	demand := make(map[job.UserID]float64, len(byUser))
+	jobsPer := make(map[job.UserID]int, len(byUser))
+	for u, js := range byUser {
+		for _, j := range js {
+			demand[u] += float64(j.Gang)
+		}
+		jobsPer[u] = len(js)
+	}
+	alloc := fairshare.ComputeAllocation(tickets, demand, caps)
+
+	// 2. Trading.
+	var trades []trade.Trade
+	if p.cfg.EnableTrading {
+		vals := p.userValues(st, byUser)
+		adjusted, log, err := trade.Run(alloc, vals, demand, p.cfg.Trade)
+		if err == nil {
+			alloc = adjusted
+			trades = log
+		}
+	}
+
+	// 3. Accrue credits; drop departed users; cap per generation.
+	for u := range p.credit {
+		if _, active := byUser[u]; !active {
+			delete(p.credit, u)
+			delete(p.userSched, u)
+		}
+	}
+	for _, u := range users {
+		c := p.credit[u]
+		if c == nil {
+			c = fairshare.Entitlement{}
+			p.credit[u] = c
+		}
+		for g, e := range alloc[u] {
+			c[g] += e
+			if limit := float64(caps[g]); c[g] > limit {
+				c[g] = limit
+			}
+		}
+	}
+
+	// 4. Selection.
+	p.round++
+	p.noMigrate = st.MigrationDisabled
+	jobTickets := fairshare.JobTickets(tickets, jobsPer)
+	remaining := make(map[gpu.Generation]int, len(caps))
+	for g, c := range caps {
+		remaining[g] = c
+	}
+	scheduled := make(map[job.ID]bool)
+	var run []placement.Request
+
+	schedule := func(u job.UserID, j *job.Job, g gpu.Generation, viaCredit bool) {
+		scheduled[j.ID] = true
+		remaining[g] -= j.Gang
+		if viaCredit {
+			p.credit[u][g] -= float64(j.Gang)
+		}
+		if prev, ok := st.PrevGen[j.ID]; ok && prev != g {
+			p.lastMig[j.ID] = p.round
+		}
+		p.jobUser[j.ID] = u
+		p.pending[j.ID] = chargeInfo{
+			user: u, gen: g, gang: j.Gang,
+			jobTickets: jobTickets[u], viaCredit: viaCredit,
+		}
+		run = append(run, placement.Request{Job: j, Gen: g})
+	}
+
+	// Pass 1 — credit-funded scheduling: per user, walk jobs in
+	// gang-aware stride pass order and fund each from the credit of
+	// the generation it should run on (previous generation when
+	// possible; otherwise the user's most valuable generation, gated
+	// by the migration cooldown).
+	//
+	// Users are served most-credit-first: when capacity is scarce the
+	// user who has been shorted longest wins, so synchronized credit
+	// cycles cannot starve whoever happens to sort last.
+	serveOrder := make([]job.UserID, len(users))
+	copy(serveOrder, users)
+	sort.SliceStable(serveOrder, func(i, k int) bool {
+		ci, ck := p.credit[serveOrder[i]].Total(), p.credit[serveOrder[k]].Total()
+		if ci != ck {
+			return ci > ck
+		}
+		return serveOrder[i] < serveOrder[k]
+	})
+	for _, u := range serveOrder {
+		sched := p.schedFor(u)
+		pref := p.genPreference(st, byUser[u], caps)
+		for _, id := range sched.Order(candidates(byUser[u], jobTickets[u])) {
+			j := findJob(byUser[u], id)
+			g, ok := p.pickGen(j, st.PrevGen, pref, remaining, true)
+			if ok {
+				schedule(u, j, g, true)
+			}
+		}
+	}
+
+	// Pass 2 — work-conserving backfill of leftover capacity, charged
+	// against a global stride so no user freeloads persistently. The
+	// cooldown still applies: backfill must not cause thrash either.
+	for _, g := range gensDesc(caps) {
+		if remaining[g] <= 0 {
+			continue
+		}
+		var cands []stride.Candidate
+		var pool []*job.Job
+		for _, u := range users {
+			for _, j := range byUser[u] {
+				if scheduled[j.ID] || !j.Perf.FitsOn(g) {
+					continue
+				}
+				// Backfill uses a short cooldown: moving an otherwise
+				// idle job onto idle capacity is a one-way move, not
+				// thrash, so only back-to-back flapping is blocked.
+				if !p.genAllowedWithin(j, st.PrevGen, g, backfillCooldown) {
+					continue
+				}
+				cands = append(cands, stride.Candidate{ID: j.ID, Gang: j.Gang, Tickets: jobTickets[u]})
+				pool = append(pool, j)
+			}
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		for _, id := range p.backfill.Select(cands, remaining[g]) {
+			j := findJob(pool, id)
+			schedule(j.User, j, g, false)
+		}
+	}
+
+	return Decision{Run: run, Trades: trades}
+}
+
+// pickGen chooses the generation to fund a job from. Preference
+// order: the job's previous generation (no migration), then the
+// user's preferred generations, each requiring the job to fit,
+// sufficient credit (when viaCredit), remaining capacity, and the
+// migration cooldown for generation changes.
+func (p *FairPolicy) pickGen(j *job.Job, prevGen map[job.ID]gpu.Generation, pref []gpu.Generation, remaining map[gpu.Generation]int, viaCredit bool) (gpu.Generation, bool) {
+	try := func(g gpu.Generation) bool {
+		if !j.Perf.FitsOn(g) || remaining[g] < j.Gang {
+			return false
+		}
+		if viaCredit {
+			c := p.credit[j.User]
+			if c == nil || c[g] < float64(j.Gang)-1e-9 {
+				return false
+			}
+		}
+		return p.genAllowed(j, prevGen, g)
+	}
+	if prev, ok := prevGen[j.ID]; ok && try(prev) {
+		return prev, true
+	}
+	for _, g := range pref {
+		if try(g) {
+			return g, true
+		}
+	}
+	return 0, false
+}
+
+// backfillCooldown is the reduced generation-change cooldown used in
+// the backfill pass (see Decide).
+const backfillCooldown = 2
+
+// genAllowed enforces the migration cooldown: a job may change
+// generation only if it has not changed within the last cooldown
+// rounds.
+func (p *FairPolicy) genAllowed(j *job.Job, prevGen map[job.ID]gpu.Generation, g gpu.Generation) bool {
+	return p.genAllowedWithin(j, prevGen, g, p.cfg.MigrationCooldown)
+}
+
+func (p *FairPolicy) genAllowedWithin(j *job.Job, prevGen map[job.ID]gpu.Generation, g gpu.Generation, cooldown int) bool {
+	prev, ok := prevGen[j.ID]
+	if !ok || prev == g {
+		return true
+	}
+	if p.noMigrate {
+		return false
+	}
+	return p.round-p.lastMig[j.ID] >= cooldown
+}
+
+// Executed implements Policy: charge stride pass for what actually
+// ran and refund credits for capacity not consumed (unplaced jobs,
+// early finishers).
+func (p *FairPolicy) Executed(rep *ExecReport) {
+	for id, ci := range p.pending {
+		info, ran := rep.Ran[id]
+		if !ran {
+			// Fragmentation left it unplaced: full refund.
+			if ci.viaCredit {
+				p.refund(ci, float64(ci.gang))
+			}
+			continue
+		}
+		res := float64(ci.gang) * info.OccupiedSecs
+		if ci.jobTickets > 0 {
+			if s := p.userSched[ci.user]; s != nil && s.Has(id) {
+				s.Charge(id, res, ci.jobTickets)
+			}
+			if p.backfill.Has(id) {
+				p.backfill.Charge(id, res, ci.jobTickets)
+			}
+		}
+	}
+	p.pending = make(map[job.ID]chargeInfo)
+}
+
+// JobFinished implements Policy.
+func (p *FairPolicy) JobFinished(id job.ID) {
+	if u, ok := p.jobUser[id]; ok {
+		if s := p.userSched[u]; s != nil {
+			s.Remove(id)
+		}
+		delete(p.jobUser, id)
+	}
+	p.backfill.Remove(id)
+	delete(p.pending, id)
+	delete(p.lastMig, id)
+}
+
+// Credit exposes a user's current deficit credits (for tests and
+// debugging).
+func (p *FairPolicy) Credit(u job.UserID) fairshare.Entitlement {
+	return p.credit[u].Clone()
+}
+
+func (p *FairPolicy) refund(ci chargeInfo, amount float64) {
+	c := p.credit[ci.user]
+	if c == nil {
+		return
+	}
+	c[ci.gen] += amount
+}
+
+func (p *FairPolicy) schedFor(u job.UserID) *stride.Scheduler {
+	s := p.userSched[u]
+	if s == nil {
+		s = stride.New(stride.GangAware)
+		p.userSched[u] = s
+	}
+	return s
+}
+
+// userValues builds the trading value vectors: gang-weighted speedup
+// of each generation over the oldest generation the job has an
+// estimate on, across the user's runnable jobs.
+func (p *FairPolicy) userValues(st *RoundState, byUser map[job.UserID][]*job.Job) trade.Values {
+	gens := st.Cluster.GensPresent()
+	vals := make(trade.Values, len(byUser))
+	for u, js := range byUser {
+		var num, den [gpu.NumGenerations]float64
+		for _, j := range js {
+			base := gpu.Generation(-1)
+			var baseRate float64
+			for _, g := range gens {
+				if r, ok := st.Prof.Rate(j.ID, g); ok && st.Prof.Samples(j.ID, g) >= p.cfg.MinSamples {
+					base, baseRate = g, r
+					break
+				}
+			}
+			if base < 0 || baseRate <= 0 {
+				continue
+			}
+			w := float64(j.Gang)
+			for _, g := range gens {
+				if r, ok := st.Prof.Rate(j.ID, g); ok && st.Prof.Samples(j.ID, g) >= p.cfg.MinSamples {
+					num[g] += w * r / baseRate
+					den[g] += w
+				}
+			}
+		}
+		var v [gpu.NumGenerations]float64
+		any := false
+		for g := range v {
+			if den[g] > 0 {
+				v[g] = num[g] / den[g]
+				any = true
+			}
+		}
+		if any {
+			vals[u] = v
+		}
+	}
+	return vals
+}
+
+// genPreference orders generations for a user: profiled value per GPU
+// descending (run where your jobs gain most), newest first on ties.
+func (p *FairPolicy) genPreference(st *RoundState, js []*job.Job, caps map[gpu.Generation]int) []gpu.Generation {
+	gens := gensDesc(caps)
+	if len(js) == 0 {
+		return gens
+	}
+	vals := p.userValues(st, map[job.UserID][]*job.Job{js[0].User: js})
+	v, ok := vals[js[0].User]
+	if !ok {
+		return gens
+	}
+	sort.SliceStable(gens, func(i, k int) bool {
+		vi, vk := v[gens[i]], v[gens[k]]
+		if vi != vk {
+			return vi > vk
+		}
+		return gens[i] > gens[k]
+	})
+	return gens
+}
+
+func groupByUser(jobs []*job.Job) map[job.UserID][]*job.Job {
+	m := make(map[job.UserID][]*job.Job)
+	for _, j := range jobs {
+		m[j.User] = append(m[j.User], j)
+	}
+	return m
+}
+
+func sortedUsers(m map[job.UserID][]*job.Job) []job.UserID {
+	users := make([]job.UserID, 0, len(m))
+	for u := range m {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+	return users
+}
+
+// gensDesc returns the present generations newest first.
+func gensDesc(caps map[gpu.Generation]int) []gpu.Generation {
+	gens := make([]gpu.Generation, 0, len(caps))
+	for g := range caps {
+		gens = append(gens, g)
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] > gens[j] })
+	return gens
+}
+
+func candidates(js []*job.Job, tickets float64) []stride.Candidate {
+	out := make([]stride.Candidate, len(js))
+	for i, j := range js {
+		out[i] = stride.Candidate{ID: j.ID, Gang: j.Gang, Tickets: tickets}
+	}
+	return out
+}
+
+func findJob(js []*job.Job, id job.ID) *job.Job {
+	for _, j := range js {
+		if j.ID == id {
+			return j
+		}
+	}
+	panic(fmt.Sprintf("core: selected job %d not in candidate pool", id))
+}

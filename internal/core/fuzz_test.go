@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/job"
+	"repro/internal/simclock"
+	"repro/internal/workload"
+)
+
+// TestFuzzEngineInvariants drives many random small scenarios through
+// the full engine under every policy and checks global invariants the
+// engine must preserve regardless of workload shape:
+//
+//   - usage never exceeds capacity (per generation);
+//   - useful time never exceeds occupied time;
+//   - every job either finishes exactly once or remains counted;
+//   - finished jobs completed no faster than physics allows
+//     (standalone runtime on the fastest generation they fit);
+//   - the fairness reference integrates to at most capacity.
+func TestFuzzEngineInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			var specs []gpu.Spec
+			gens := []gpu.Generation{gpu.K80, gpu.P40, gpu.P100, gpu.V100}
+			nGens := 1 + rng.Intn(3)
+			for i := 0; i < nGens; i++ {
+				specs = append(specs, gpu.Spec{
+					Gen:        gens[(trial+i)%len(gens)],
+					Servers:    1 + rng.Intn(3),
+					GPUsPerSrv: 1 + rng.Intn(4),
+				})
+			}
+			cluster := gpu.MustNew(specs...)
+
+			// Gangs must fit within a single generation's capacity or
+			// the config is (correctly) rejected.
+			maxGang := 0
+			for _, g := range cluster.GensPresent() {
+				if c := cluster.Capacity(g); c > maxGang {
+					maxGang = c
+				}
+			}
+			nUsers := 1 + rng.Intn(4)
+			var users []workload.UserSpec
+			for i := 0; i < nUsers; i++ {
+				users = append(users, workload.UserSpec{
+					User:               job.UserID(fmt.Sprintf("u%d", i)),
+					NumJobs:            1 + rng.Intn(10),
+					ArrivalRatePerHour: float64(rng.Intn(4)),
+					MeanK80Hours:       0.5 + rng.Float64()*3,
+					GangDist: []workload.GangWeight{
+						{Gang: 1, Weight: 0.7},
+						{Gang: 1 + rng.Intn(maxGang), Weight: 0.3},
+					},
+				})
+			}
+			trace := workload.MustGenerate(workload.DefaultZoo(), workload.Config{
+				Seed: int64(trial), Users: users, MaxK80Hours: 6,
+			})
+
+			var failures []Failure
+			if rng.Intn(2) == 0 && cluster.NumServers() > 1 {
+				failures = append(failures, Failure{
+					Server:   gpu.ServerID(rng.Intn(cluster.NumServers())),
+					At:       simclock.Time(rng.Intn(10) * 3600),
+					Duration: simclock.Duration(1+rng.Intn(4)) * simclock.Hour,
+				})
+			}
+
+			cfg := Config{
+				Cluster:          cluster,
+				Specs:            trace,
+				Seed:             int64(trial),
+				Failures:         failures,
+				DisableMigration: rng.Intn(4) == 0,
+			}
+			policies := []Policy{
+				MustNewFairPolicy(FairConfig{EnableTrading: trial%2 == 0}),
+			}
+			for _, p := range policies {
+				sim, err := New(cfg, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				horizon := simclock.Time((12 + rng.Intn(36)) * 3600)
+				res, err := sim.Run(horizon)
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				checkInvariants(t, cfg, res, len(trace))
+			}
+		})
+	}
+}
+
+func checkInvariants(t *testing.T, cfg Config, res *Result, totalJobs int) {
+	t.Helper()
+
+	// Job conservation.
+	if len(res.Finished)+res.Unfinished != totalJobs {
+		t.Errorf("job conservation: %d finished + %d unfinished != %d",
+			len(res.Finished), res.Unfinished, totalJobs)
+	}
+	seen := map[job.ID]bool{}
+	for _, j := range res.Finished {
+		if seen[j.ID] {
+			t.Errorf("job %d finished twice", j.ID)
+		}
+		seen[j.ID] = true
+		if !j.Finished() {
+			t.Errorf("job %d in Finished but not done", j.ID)
+		}
+		// Physics: completion at least as slow as the fastest
+		// generation allows, minus float slack.
+		best := simclock.Duration(1e18)
+		for _, g := range gpu.Generations() {
+			if j.Perf.FitsOn(g) {
+				if r := j.StandaloneTime(g); r < best {
+					best = r
+				}
+			}
+		}
+		if j.JCT() < best-1 {
+			t.Errorf("job %d JCT %v beats physics %v", j.ID, j.JCT(), best)
+		}
+	}
+
+	// Usage ≤ capacity per generation (both occupied and the
+	// engine-tracked busy seconds).
+	for g, u := range res.UtilByGen {
+		if u.BusyGPUSeconds > u.CapacityGPUSeconds+1e-6 {
+			t.Errorf("generation %v: busy %v > capacity %v", g, u.BusyGPUSeconds, u.CapacityGPUSeconds)
+		}
+	}
+	if res.Utilization.Fraction() > 1+1e-9 {
+		t.Errorf("utilization %v > 1", res.Utilization.Fraction())
+	}
+
+	// Useful ≤ occupied, per user.
+	occupied := res.TotalUsageByUser()
+	for u, useful := range res.UsefulByUser {
+		if useful > occupied[u]+1e-6 {
+			t.Errorf("user %s useful %v > occupied %v", u, useful, occupied[u])
+		}
+	}
+
+	// Fairness reference bounded by capacity.
+	var fairTotal float64
+	for _, v := range res.FairUsageByUser {
+		fairTotal += v
+	}
+	capTotal := res.Utilization.CapacityGPUSeconds
+	if fairTotal > capTotal*1.01+1e-6 {
+		t.Errorf("fair reference %v exceeds capacity %v", fairTotal, capTotal)
+	}
+
+	// Migration ban respected.
+	if cfg.DisableMigration && res.Migrations != 0 {
+		t.Errorf("%d migrations despite DisableMigration", res.Migrations)
+	}
+}

@@ -1,0 +1,118 @@
+// Package core contains the Gandiva_fair scheduler and the
+// round-based cluster simulation engine that drives it (and the
+// baseline policies) over the simulated GPU substrate.
+//
+// Architecture: the engine (Sim) owns ground truth — jobs, devices,
+// the clock — and exposes a policy interface mirroring the paper's
+// central scheduler: each scheduling quantum the policy is shown the
+// runnable jobs and decides which of them run and on which GPU
+// generation; the engine then places gangs onto concrete devices,
+// charges suspend/resume/migration overheads, advances training
+// progress, and reports back what actually ran so the policy can
+// update its fairness accounting.
+package core
+
+import (
+	"repro/internal/gpu"
+	"repro/internal/job"
+	"repro/internal/placement"
+	"repro/internal/profiler"
+	"repro/internal/simclock"
+	"repro/internal/trade"
+)
+
+// RoundState is the snapshot a policy sees at the start of a round.
+type RoundState struct {
+	Now     simclock.Time
+	Quantum simclock.Duration
+	Cluster *gpu.Cluster
+
+	// Jobs lists all runnable (arrived, unfinished) jobs. Policies
+	// must not mutate them.
+	Jobs []*job.Job
+
+	// Tickets are the per-user fair-share weights.
+	Tickets map[job.UserID]float64
+
+	// Prof exposes profiled throughput estimates.
+	Prof *profiler.Profiler
+
+	// PrevGen maps each job to the generation it last ran on (absent
+	// for never-run jobs) — for migration-aware decisions.
+	PrevGen map[job.ID]gpu.Generation
+
+	// MigrationDisabled tells policies the engine will refuse to move
+	// previously-run jobs, so they should not request generation
+	// changes (the no-migration ablation).
+	MigrationDisabled bool
+
+	// Down marks servers that are failed this round; their GPUs are
+	// unplaceable. Use CapacityByGen for the net capacity.
+	Down map[gpu.ServerID]bool
+}
+
+// CapacityByGen returns per-generation GPU counts net of failed
+// servers — the capacity policies must plan against.
+func (st *RoundState) CapacityByGen() map[gpu.Generation]int {
+	caps := st.Cluster.CapacityByGen()
+	for sid, down := range st.Down {
+		if !down {
+			continue
+		}
+		srv := st.Cluster.Server(sid)
+		caps[srv.Gen] -= srv.NumGPUs()
+		if caps[srv.Gen] <= 0 {
+			delete(caps, srv.Gen)
+		}
+	}
+	return caps
+}
+
+// Decision is a policy's output for one round.
+type Decision struct {
+	// Run lists the jobs to execute this quantum and the generation
+	// each should run on. Total gang width per generation must not
+	// exceed cluster capacity; the engine validates this.
+	Run []placement.Request
+
+	// Trades logs the resource trades behind this decision (empty
+	// for policies without trading).
+	Trades []trade.Trade
+}
+
+// RanInfo describes one job's execution during a round.
+type RanInfo struct {
+	User         job.UserID
+	Gen          gpu.Generation
+	Gang         int
+	OccupiedSecs simclock.Duration // wall time GPUs were held
+	UsefulSecs   simclock.Duration // minibatch-productive time
+	Migrated     bool
+	Finished     bool
+}
+
+// ExecReport tells the policy what actually happened in the round
+// (jobs can lose time to migration or finish early, and fragmentation
+// can leave a requested job unplaced).
+type ExecReport struct {
+	Ran      map[job.ID]RanInfo
+	Unplaced []job.ID
+}
+
+// Policy is a pluggable cluster scheduler. Implementations include
+// the Gandiva_fair policy in this package and the baselines in
+// internal/baselines. Policies are driven from the single simulation
+// goroutine; no synchronization is needed.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+
+	// Decide picks this round's job→generation assignments.
+	Decide(st *RoundState) Decision
+
+	// Executed reports the round's actual outcome for accounting.
+	Executed(rep *ExecReport)
+
+	// JobFinished tells the policy to drop state for a job.
+	JobFinished(id job.ID)
+}

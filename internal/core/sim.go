@@ -1,0 +1,678 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/fairshare"
+	"repro/internal/gpu"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/migrate"
+	"repro/internal/placement"
+	"repro/internal/profiler"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+// Config drives one simulation.
+type Config struct {
+	Cluster *gpu.Cluster
+	Specs   []job.Spec
+
+	// Tickets per user; users missing from the map default to 1.
+	Tickets map[job.UserID]float64
+
+	// Quantum is the scheduling interval in seconds. Zero means the
+	// default 360 s (minute-scale time-slicing, as in Gandiva).
+	Quantum simclock.Duration
+
+	// Costs is the suspend/resume/migration cost model. The zero
+	// value means migrate.Default().
+	Costs migrate.CostModel
+
+	// DisableMigration pins previously-run jobs to their servers (the
+	// no-migration ablation).
+	DisableMigration bool
+
+	// ProfilerNoise is the relative std-dev of one rate measurement;
+	// ProfilerAlpha the EWMA weight. Zeros mean 0.03 and 0.25.
+	ProfilerNoise float64
+	ProfilerAlpha float64
+
+	// TimelineWindow is the share-timeline bucket width; zero means
+	// one hour.
+	TimelineWindow simclock.Duration
+
+	// Failures injects server outages: during [At, At+Duration) the
+	// server's GPUs are unplaceable and jobs running there are
+	// displaced — restarting from checkpoint elsewhere when migration
+	// is allowed, waiting for the server otherwise.
+	Failures []Failure
+
+	// TicketChanges reconfigures a user's tickets at runtime (an
+	// operator action the paper's ticket model supports); each change
+	// applies from the first round at or after At.
+	TicketChanges []TicketChange
+
+	// Seed feeds all randomness (profiling noise).
+	Seed int64
+}
+
+// Failure is one injected server outage.
+type Failure struct {
+	Server   gpu.ServerID
+	At       simclock.Time
+	Duration simclock.Duration
+}
+
+// TicketChange reassigns a user's tickets at a point in time.
+type TicketChange struct {
+	At      simclock.Time
+	User    job.UserID
+	Tickets float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Quantum == 0 {
+		c.Quantum = 360
+	}
+	if (c.Costs == migrate.CostModel{}) {
+		c.Costs = migrate.Default()
+	}
+	if c.ProfilerNoise == 0 {
+		c.ProfilerNoise = 0.03
+	}
+	if c.ProfilerAlpha == 0 {
+		c.ProfilerAlpha = 0.25
+	}
+	if c.TimelineWindow == 0 {
+		c.TimelineWindow = simclock.Hour
+	}
+	return c
+}
+
+// Validate checks the config.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.Cluster == nil {
+		return fmt.Errorf("core: nil cluster")
+	}
+	if len(c.Specs) == 0 {
+		return fmt.Errorf("core: no jobs")
+	}
+	seen := make(map[job.ID]bool, len(c.Specs))
+	for i := range c.Specs {
+		if err := c.Specs[i].Validate(); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		if seen[c.Specs[i].ID] {
+			return fmt.Errorf("core: duplicate job ID %d", c.Specs[i].ID)
+		}
+		seen[c.Specs[i].ID] = true
+		fits := false
+		for _, g := range c.Cluster.GensPresent() {
+			if c.Specs[i].Perf.FitsOn(g) {
+				fits = true
+				break
+			}
+		}
+		if !fits {
+			return fmt.Errorf("core: job %d fits no generation in the cluster", c.Specs[i].ID)
+		}
+		// A gang runs on devices of a single generation, so it must
+		// fit within some one generation it can use — total cluster
+		// size is not enough.
+		placeable := false
+		for _, g := range c.Cluster.GensPresent() {
+			if c.Specs[i].Perf.FitsOn(g) && c.Specs[i].Gang <= c.Cluster.Capacity(g) {
+				placeable = true
+				break
+			}
+		}
+		if !placeable {
+			return fmt.Errorf("core: job %d gang %d exceeds every usable generation's capacity",
+				c.Specs[i].ID, c.Specs[i].Gang)
+		}
+	}
+	if c.Quantum <= 0 {
+		return fmt.Errorf("core: non-positive quantum")
+	}
+	if err := c.Costs.Validate(); err != nil {
+		return err
+	}
+	for u, t := range c.Tickets {
+		if t < 0 {
+			return fmt.Errorf("core: user %s has negative tickets", u)
+		}
+	}
+	for _, f := range c.Failures {
+		if int(f.Server) < 0 || int(f.Server) >= c.Cluster.NumServers() {
+			return fmt.Errorf("core: failure names unknown server %d", f.Server)
+		}
+		if f.At < 0 || f.Duration <= 0 {
+			return fmt.Errorf("core: failure on server %d has invalid window", f.Server)
+		}
+	}
+	for _, tc := range c.TicketChanges {
+		if tc.User == "" || tc.Tickets < 0 || tc.At < 0 {
+			return fmt.Errorf("core: invalid ticket change %+v", tc)
+		}
+	}
+	return nil
+}
+
+// Result collects a finished simulation's outputs.
+type Result struct {
+	Policy string
+
+	// Finished jobs, in completion order; Unfinished counts jobs
+	// still incomplete at the horizon.
+	Finished   []*job.Job
+	Unfinished int
+
+	// UsageByUserGen is occupied GPU-seconds per user per generation
+	// (the fairness currency: time GPUs were held, including
+	// overheads).
+	UsageByUserGen map[job.UserID]map[gpu.Generation]float64
+
+	// UsefulByUser is minibatch-productive gang-GPU-seconds.
+	UsefulByUser map[job.UserID]float64
+
+	// FairUsageByUser is the policy-independent fairness reference:
+	// each round the engine water-fills total capacity over the
+	// active users' demands by tickets and integrates the result.
+	// Comparing observed usage against this accounts for churn and
+	// demand caps, unlike a static equal-split ideal.
+	FairUsageByUser map[job.UserID]float64
+
+	// ThroughputByUser is total minibatches completed per user.
+	ThroughputByUser map[job.UserID]float64
+
+	Utilization metrics.Utilization
+	UtilByGen   map[gpu.Generation]metrics.Utilization
+
+	Migrations int
+	TradeCount int
+
+	Timeline *metrics.Timeline
+	Log      *trace.Log
+	Rounds   int
+	End      simclock.Time
+}
+
+// TotalUsageByUser sums occupied GPU-seconds across generations.
+func (r *Result) TotalUsageByUser() map[job.UserID]float64 {
+	out := make(map[job.UserID]float64, len(r.UsageByUserGen))
+	for u, byGen := range r.UsageByUserGen {
+		for _, v := range byGen {
+			out[u] += v
+		}
+	}
+	return out
+}
+
+// MaxShareError returns the largest per-user deviation between the
+// observed usage fraction and the fair-reference fraction — the
+// scalar fairness score reported across the experiments (0 = every
+// user tracked their water-filled entitlement exactly).
+func (r *Result) MaxShareError() float64 {
+	obs := metrics.ShareFractions(r.TotalUsageByUser())
+	ideal := metrics.ShareFractions(r.FairUsageByUser)
+	worst := 0.0
+	for u, want := range ideal {
+		if d := math.Abs(obs[u] - want); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// JCTs returns completion times of finished jobs in seconds.
+func (r *Result) JCTs() []float64 {
+	out := make([]float64, 0, len(r.Finished))
+	for _, j := range r.Finished {
+		out = append(out, j.JCT())
+	}
+	return out
+}
+
+// QueueDelays returns, for each finished job, the wait from arrival
+// to its first quantum in seconds.
+func (r *Result) QueueDelays() []float64 {
+	out := make([]float64, 0, len(r.Finished))
+	for _, j := range r.Finished {
+		if d, ok := j.QueueDelay(); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Sim is the simulation engine. Create with New, run with Run.
+type Sim struct {
+	cfg     Config
+	clock   *simclock.Clock
+	policy  Policy
+	prof    *profiler.Profiler
+	log     *trace.Log
+	tl      *metrics.Timeline
+	tickets map[job.UserID]float64
+
+	ticketQ  []TicketChange // sorted by At, not yet applied
+	pending  []job.Spec     // sorted by arrival, not yet admitted
+	active   map[job.ID]*job.Job
+	finished []*job.Job
+
+	prev    placement.Assignment
+	prevGen map[job.ID]gpu.Generation
+
+	usage      map[job.UserID]map[gpu.Generation]float64
+	useful     map[job.UserID]float64
+	fairUsage  map[job.UserID]float64
+	mbByUser   map[job.UserID]float64
+	busyByGen  map[gpu.Generation]float64
+	capByGen   map[gpu.Generation]float64
+	migrations int
+	trades     int
+	rounds     int
+	wasDown    map[gpu.ServerID]bool
+}
+
+// New builds a simulation for a policy. The config is validated.
+func New(cfg Config, policy Policy) (*Sim, error) {
+	if policy == nil {
+		return nil, fmt.Errorf("core: nil policy")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	prof, err := profiler.New(cfg.ProfilerAlpha, cfg.ProfilerNoise, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sim{
+		cfg:       cfg,
+		clock:     simclock.New(),
+		policy:    policy,
+		prof:      prof,
+		log:       &trace.Log{},
+		tl:        metrics.NewTimeline(cfg.TimelineWindow),
+		tickets:   make(map[job.UserID]float64),
+		active:    make(map[job.ID]*job.Job),
+		prev:      placement.Assignment{},
+		prevGen:   make(map[job.ID]gpu.Generation),
+		usage:     make(map[job.UserID]map[gpu.Generation]float64),
+		useful:    make(map[job.UserID]float64),
+		fairUsage: make(map[job.UserID]float64),
+		mbByUser:  make(map[job.UserID]float64),
+		busyByGen: make(map[gpu.Generation]float64),
+		capByGen:  make(map[gpu.Generation]float64),
+		wasDown:   make(map[gpu.ServerID]bool),
+	}
+	s.ticketQ = make([]TicketChange, len(cfg.TicketChanges))
+	copy(s.ticketQ, cfg.TicketChanges)
+	sort.SliceStable(s.ticketQ, func(i, j int) bool { return s.ticketQ[i].At < s.ticketQ[j].At })
+	s.pending = make([]job.Spec, len(cfg.Specs))
+	copy(s.pending, cfg.Specs)
+	sort.SliceStable(s.pending, func(i, j int) bool {
+		return s.pending[i].Arrival < s.pending[j].Arrival
+	})
+	for i := range s.pending {
+		u := s.pending[i].User
+		if t, ok := cfg.Tickets[u]; ok {
+			s.tickets[u] = t
+		} else {
+			s.tickets[u] = 1
+		}
+	}
+	return s, nil
+}
+
+// Run simulates until the horizon or until every job finishes,
+// whichever comes first, and returns the result. Run may be called
+// once per Sim.
+func (s *Sim) Run(until simclock.Time) (*Result, error) {
+	if until <= 0 {
+		return nil, fmt.Errorf("core: non-positive horizon")
+	}
+	for s.clock.Now() < until {
+		if len(s.active) == 0 {
+			if len(s.pending) == 0 {
+				break // all done
+			}
+			// Fast-forward idle gaps to the next arrival, aligned to
+			// the quantum grid so rounds stay comparable.
+			next := s.pending[0].Arrival
+			if next >= until {
+				break
+			}
+			aligned := simclock.Time(float64(int(float64(next)/s.cfg.Quantum)) * s.cfg.Quantum)
+			if aligned > s.clock.Now() {
+				s.clock.RunUntil(aligned)
+			}
+		}
+		s.admitArrivals()
+		if len(s.active) == 0 {
+			// Arrival strictly inside the coming quantum: step one
+			// quantum and retry.
+			s.clock.RunUntil(s.clock.Now().Add(s.cfg.Quantum))
+			continue
+		}
+		if err := s.runRound(); err != nil {
+			return nil, err
+		}
+		s.clock.RunUntil(s.clock.Now().Add(s.cfg.Quantum))
+	}
+	return s.result(), nil
+}
+
+func (s *Sim) admitArrivals() {
+	now := s.clock.Now()
+	for len(s.pending) > 0 && s.pending[0].Arrival <= now {
+		spec := s.pending[0]
+		s.pending = s.pending[1:]
+		j, err := job.New(spec)
+		if err != nil {
+			panic(fmt.Sprintf("core: validated spec rejected: %v", err)) // unreachable
+		}
+		s.active[j.ID] = j
+		s.log.Add(spec.Arrival, trace.KindArrival, j.ID, j.User,
+			fmt.Sprintf("model=%s gang=%d", spec.Perf.Model, spec.Gang))
+	}
+}
+
+// runRound executes one scheduling quantum.
+func (s *Sim) runRound() error {
+	now := s.clock.Now()
+	s.rounds++
+	for len(s.ticketQ) > 0 && s.ticketQ[0].At <= now {
+		tc := s.ticketQ[0]
+		s.ticketQ = s.ticketQ[1:]
+		s.tickets[tc.User] = tc.Tickets
+	}
+	down := s.downServers(now)
+
+	st := &RoundState{
+		Now:     now,
+		Quantum: s.cfg.Quantum,
+		Cluster: s.cfg.Cluster,
+		Jobs:    s.runnableJobs(),
+		Tickets: s.tickets,
+		Prof:    s.prof,
+		PrevGen: s.prevGen,
+
+		MigrationDisabled: s.cfg.DisableMigration,
+		Down:              down,
+	}
+	// Policy-independent fairness reference for this round,
+	// water-filled over the capacity actually available (failed
+	// servers excluded).
+	demand := make(map[job.UserID]float64)
+	for _, j := range st.Jobs {
+		demand[j.User] += float64(j.Gang)
+	}
+	availTotal := 0.0
+	for _, c := range st.CapacityByGen() {
+		availTotal += float64(c)
+	}
+	for u, sh := range fairshare.Compute(s.tickets, demand, availTotal) {
+		s.fairUsage[u] += sh * s.cfg.Quantum
+	}
+
+	dec := s.policy.Decide(st)
+	if err := s.checkDecision(dec, st.CapacityByGen()); err != nil {
+		return err
+	}
+	s.trades += len(dec.Trades)
+	for _, tr := range dec.Trades {
+		s.log.Add(now, trace.KindTrade, 0, tr.Buyer,
+			fmt.Sprintf("seller=%s fast=%v slow=%v dFast=%.2f dSlow=%.2f price=%.2f",
+				tr.Seller, tr.Fast, tr.Slow, tr.FastGPUs, tr.SlowGPUs, tr.Price))
+	}
+
+	res := placement.Place(s.cfg.Cluster, s.prev, dec.Run,
+		placement.Options{AllowMigration: !s.cfg.DisableMigration, Down: down})
+	if err := placement.Validate(s.cfg.Cluster, res.Assignment); err != nil {
+		return fmt.Errorf("core: round %d: %w", s.rounds, err)
+	}
+
+	migrated := make(map[job.ID]bool, len(res.Migrated))
+	for _, id := range res.Migrated {
+		migrated[id] = true
+	}
+
+	rep := &ExecReport{Ran: make(map[job.ID]RanInfo, len(res.Assignment)), Unplaced: res.Unplaced}
+	ranThisRound := make(map[job.ID]bool, len(res.Assignment))
+	for id, devs := range res.Assignment {
+		j := s.active[id]
+		if j == nil {
+			return fmt.Errorf("core: placement returned unknown job %d", id)
+		}
+		gen := s.cfg.Cluster.Device(devs[0]).Gen
+		info := s.executeJob(j, gen, devs, migrated[id])
+		rep.Ran[id] = info
+		ranThisRound[id] = true
+		s.prevGen[id] = gen
+	}
+
+	// Capacity accounting for utilization, net of failed servers.
+	capNow := st.CapacityByGen()
+	for g, c := range capNow {
+		s.capByGen[g] += float64(c) * s.cfg.Quantum
+	}
+
+	// Quantum bookkeeping on every active job, then retire finished
+	// ones.
+	for id, j := range s.active {
+		if j.Finished() {
+			s.finished = append(s.finished, j)
+			s.log.Add(j.FinishTime(), trace.KindFinish, id, j.User,
+				fmt.Sprintf("jct=%.0fs migrations=%d", j.JCT(), j.Migrations()))
+			s.policy.JobFinished(id)
+			s.prof.Remove(id)
+			delete(s.active, id)
+			delete(s.prev, id)
+			delete(s.prevGen, id)
+			continue
+		}
+		ran := ranThisRound[id]
+		if j.State() == job.Running && !ran {
+			j.SetRunning(false)
+		}
+		j.NoteQuantum(ran)
+	}
+	sort.Slice(s.finished, func(i, j int) bool {
+		return s.finished[i].FinishTime() < s.finished[j].FinishTime()
+	})
+
+	// Next round's stability baseline: the latest placement of every
+	// still-active job. Jobs that went unplaced this round keep their
+	// old placement — their checkpoint state lives on that server, and
+	// the no-migration mode pins them to it.
+	newPrev := placement.Assignment{}
+	for id, devs := range s.prev {
+		if _, alive := s.active[id]; alive {
+			newPrev[id] = devs
+		}
+	}
+	for id, devs := range res.Assignment {
+		if _, alive := s.active[id]; alive {
+			newPrev[id] = devs
+		}
+	}
+	s.prev = newPrev
+
+	s.policy.Executed(rep)
+	return nil
+}
+
+// executeJob charges overheads and advances one job for the quantum.
+func (s *Sim) executeJob(j *job.Job, gen gpu.Generation, devs []gpu.DeviceID, migrated bool) RanInfo {
+	now := s.clock.Now()
+	quantum := s.cfg.Quantum
+
+	var overhead simclock.Duration
+	switch {
+	case migrated:
+		overhead = s.cfg.Costs.MigrationCost(j.Perf)
+		j.NoteMigration()
+		s.migrations++
+		s.log.Add(now, trace.KindMigration, j.ID, j.User,
+			fmt.Sprintf("to=%v cost=%.0fs", gen, overhead))
+	case !j.RanLastQuantum():
+		overhead = s.cfg.Costs.ResumeCost()
+	}
+	if overhead > quantum {
+		overhead = quantum
+	}
+	j.AddOverhead(overhead)
+
+	span := placement.ServersUsed(s.cfg.Cluster, devs)
+	penalty := s.cfg.Costs.SpanPenalty(span)
+	avail := (quantum - overhead) * penalty
+	if lost := (quantum - overhead) * (1 - penalty); lost > 0 {
+		j.AddOverhead(lost)
+	}
+
+	if j.State() != job.Running {
+		j.SetRunning(true)
+		if !j.RanLastQuantum() && j.DoneMB() == 0 {
+			s.log.Add(now, trace.KindStart, j.ID, j.User, fmt.Sprintf("gen=%v", gen))
+		}
+	}
+	j.NoteFirstRun(now)
+	if s.prof.Samples(j.ID, gen) == 0 {
+		s.prof.ProbeAll(j)
+	} else {
+		s.prof.Observe(j, gen)
+	}
+
+	used, finished := j.Advance(gen, avail, now.Add(overhead))
+	// Occupied wall time: overhead plus useful time (de-scaled by the
+	// span penalty), capped at the quantum. A job finishing mid-round
+	// releases its GPUs for accounting purposes.
+	occupied := quantum
+	if finished && penalty > 0 {
+		occupied = overhead + used/penalty
+		if occupied > quantum {
+			occupied = quantum
+		}
+	}
+
+	gang := float64(j.Gang)
+	s.addUsage(j.User, gen, gang*occupied)
+	s.useful[j.User] += gang * used
+	s.mbByUser[j.User] += j.GangRate(gen) * used
+	s.busyByGen[gen] += gang * occupied
+	s.tl.Add(now, j.User, gang*occupied)
+
+	return RanInfo{
+		User: j.User, Gen: gen, Gang: j.Gang,
+		OccupiedSecs: occupied, UsefulSecs: used,
+		Migrated: migrated, Finished: finished,
+	}
+}
+
+func (s *Sim) addUsage(u job.UserID, g gpu.Generation, amount float64) {
+	m := s.usage[u]
+	if m == nil {
+		m = make(map[gpu.Generation]float64)
+		s.usage[u] = m
+	}
+	m[g] += amount
+}
+
+// downServers returns the servers failed at time t and logs
+// failure/recovery transitions.
+func (s *Sim) downServers(t simclock.Time) map[gpu.ServerID]bool {
+	down := make(map[gpu.ServerID]bool)
+	for _, f := range s.cfg.Failures {
+		if t >= f.At && t < f.At.Add(f.Duration) {
+			down[f.Server] = true
+		}
+	}
+	for sid := range down {
+		if !s.wasDown[sid] {
+			s.wasDown[sid] = true
+			s.log.Add(t, trace.KindFailure, 0, "", fmt.Sprintf("server=%d", sid))
+		}
+	}
+	for sid := range s.wasDown {
+		if !down[sid] {
+			delete(s.wasDown, sid)
+			s.log.Add(t, trace.KindRecovery, 0, "", fmt.Sprintf("server=%d", sid))
+		}
+	}
+	return down
+}
+
+func (s *Sim) runnableJobs() []*job.Job {
+	jobs := make([]*job.Job, 0, len(s.active))
+	for _, j := range s.active {
+		jobs = append(jobs, j)
+	}
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].ID < jobs[k].ID })
+	return jobs
+}
+
+// checkDecision enforces the policy contract: known runnable jobs,
+// no duplicates, per-generation gang totals within capacity, and
+// every job placed on a generation it fits.
+func (s *Sim) checkDecision(dec Decision, caps map[gpu.Generation]int) error {
+	seen := make(map[job.ID]bool, len(dec.Run))
+	width := make(map[gpu.Generation]int)
+	for _, r := range dec.Run {
+		if r.Job == nil {
+			return fmt.Errorf("core: policy returned nil job")
+		}
+		j, ok := s.active[r.Job.ID]
+		if !ok || j != r.Job {
+			return fmt.Errorf("core: policy scheduled unknown job %d", r.Job.ID)
+		}
+		if seen[r.Job.ID] {
+			return fmt.Errorf("core: policy scheduled job %d twice", r.Job.ID)
+		}
+		seen[r.Job.ID] = true
+		if !r.Job.Perf.FitsOn(r.Gen) {
+			return fmt.Errorf("core: policy put job %d on unusable generation %v", r.Job.ID, r.Gen)
+		}
+		width[r.Gen] += r.Job.Gang
+	}
+	for g, w := range width {
+		if w > caps[g] {
+			return fmt.Errorf("core: policy overcommitted %v: %d > %d", g, w, caps[g])
+		}
+	}
+	return nil
+}
+
+func (s *Sim) result() *Result {
+	var busy, capTotal float64
+	utilByGen := make(map[gpu.Generation]metrics.Utilization, len(s.capByGen))
+	for g, c := range s.capByGen {
+		b := s.busyByGen[g]
+		utilByGen[g] = metrics.Utilization{BusyGPUSeconds: b, CapacityGPUSeconds: c}
+		busy += b
+		capTotal += c
+	}
+	return &Result{
+		Policy:           s.policy.Name(),
+		Finished:         s.finished,
+		Unfinished:       len(s.active) + len(s.pending),
+		UsageByUserGen:   s.usage,
+		UsefulByUser:     s.useful,
+		FairUsageByUser:  s.fairUsage,
+		ThroughputByUser: s.mbByUser,
+		Utilization:      metrics.Utilization{BusyGPUSeconds: busy, CapacityGPUSeconds: capTotal},
+		UtilByGen:        utilByGen,
+		Migrations:       s.migrations,
+		TradeCount:       s.trades,
+		Timeline:         s.tl,
+		Log:              s.log,
+		Rounds:           s.rounds,
+		End:              s.clock.Now(),
+	}
+}

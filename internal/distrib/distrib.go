@@ -1,0 +1,566 @@
+// Package distrib runs Gandiva_fair as the distributed system the
+// paper deploys: a central scheduler making round decisions and one
+// agent per server executing its slice of the plan, connected by the
+// comm transports (in-memory for tests, TCP for real processes).
+//
+// The central scheduler reuses the exact same policy and placement
+// code the simulation core runs — distribution only changes who
+// executes a quantum and how the results travel back. Job state
+// crosses the wire on every (re)placement (checkpoint semantics), so
+// agents are stateless and migration falls out of the protocol.
+package distrib
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/job"
+	"repro/internal/migrate"
+	"repro/internal/placement"
+	"repro/internal/profiler"
+	"repro/internal/simclock"
+)
+
+// Agent executes round plans for one server. Run blocks until
+// Shutdown or transport closure.
+type Agent struct {
+	tr      comm.Transport
+	central string
+	gen     gpu.Generation
+	gpus    int
+}
+
+// NewAgent wires an agent for a server of gpus devices of one
+// generation.
+func NewAgent(tr comm.Transport, central string, gen gpu.Generation, gpus int) (*Agent, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("distrib: nil transport")
+	}
+	if !gen.Valid() || gpus <= 0 {
+		return nil, fmt.Errorf("distrib: invalid server inventory")
+	}
+	return &Agent{tr: tr, central: central, gen: gen, gpus: gpus}, nil
+}
+
+// Run registers with the central scheduler and serves round plans
+// until shut down.
+func (a *Agent) Run() error {
+	err := a.tr.Send(a.central, comm.Envelope{From: a.tr.Name(), Msg: comm.Register{
+		Agent: a.tr.Name(), Gen: int(a.gen), GPUs: a.gpus,
+	}})
+	if err != nil {
+		return err
+	}
+	for env := range a.tr.Recv() {
+		switch m := env.Msg.(type) {
+		case comm.RegisterAck:
+			if !m.OK {
+				return fmt.Errorf("distrib: registration rejected: %s", m.Reason)
+			}
+		case comm.RoundPlan:
+			rep := a.execute(m)
+			if err := a.tr.Send(a.central, comm.Envelope{From: a.tr.Name(), Msg: rep}); err != nil {
+				return err
+			}
+		case comm.Shutdown:
+			return nil
+		}
+	}
+	return nil
+}
+
+// execute runs one quantum's worth of training for the assigned jobs.
+// The agent is stateless: everything it needs arrives in the plan.
+func (a *Agent) execute(plan comm.RoundPlan) comm.RoundReport {
+	rep := comm.RoundReport{Agent: a.tr.Name(), Round: plan.Round}
+	for _, as := range plan.Jobs {
+		useful := plan.Quantum - as.Overhead
+		if useful < 0 {
+			useful = 0
+		}
+		done := as.DoneMB
+		used := useful
+		finished := false
+		if as.GangRate > 0 {
+			need := (as.TotalMB - done) / as.GangRate
+			if need <= useful {
+				used = need
+				finished = true
+				done = as.TotalMB
+			} else {
+				done += as.GangRate * useful
+			}
+		} else {
+			used = 0
+		}
+		rep.Jobs = append(rep.Jobs, comm.JobProgress{
+			JobID: as.JobID, DoneMB: done, Finished: finished, UsedSecs: used,
+		})
+	}
+	return rep
+}
+
+// ---------------------------------------------------------------------------
+// Central scheduler
+
+// CentralConfig drives the central scheduler.
+type CentralConfig struct {
+	Specs   []job.Spec
+	Tickets map[job.UserID]float64
+
+	// Quantum is the virtual training time per round in seconds
+	// (default 360). Rounds execute as fast as the agents answer —
+	// the distributed run is still a simulation of training time, it
+	// just executes on real processes over a real wire.
+	Quantum simclock.Duration
+
+	// Costs is the overhead model used to compute the per-assignment
+	// overhead sent to agents.
+	Costs migrate.CostModel
+
+	// ReportTimeout bounds the wait for agent reports each round
+	// (default 5 s of wall time).
+	ReportTimeout time.Duration
+
+	// StrictReports makes a missing agent report a fatal error. By
+	// default the round proceeds without the silent agent's progress:
+	// its jobs simply make no progress this quantum and are replaced
+	// elsewhere next round (their state lives in the central
+	// scheduler's records, so nothing is lost).
+	StrictReports bool
+
+	// MaxAgentTimeouts aborts the run after this many total missed
+	// reports (guard against a permanently dead deployment). Zero
+	// means 50.
+	MaxAgentTimeouts int
+}
+
+// Central is the coordinator. It reuses core.FairPolicy (or any
+// core.Policy) for decisions and placement for device assignment.
+type Central struct {
+	cfg    CentralConfig
+	tr     comm.Transport
+	policy core.Policy
+	prof   *profiler.Profiler
+
+	agents  []agentInfo // sorted by name; fixed after WaitForAgents
+	cluster *gpu.Cluster
+	// serverOf maps cluster ServerID → agent index.
+	serverOf map[gpu.ServerID]int
+
+	now      simclock.Time
+	timeouts int
+	missed   map[string]int // consecutive missed reports per agent
+	pending  []job.Spec
+	active   map[job.ID]*job.Job
+	done     []*job.Job
+	prev     placement.Assignment
+	prevGen  map[job.ID]gpu.Generation
+
+	usage map[job.UserID]float64
+}
+
+type agentInfo struct {
+	name string
+	gen  gpu.Generation
+	gpus int
+}
+
+// NewCentral builds the coordinator. Call WaitForAgents before Run.
+func NewCentral(tr comm.Transport, policy core.Policy, cfg CentralConfig) (*Central, error) {
+	if tr == nil || policy == nil {
+		return nil, fmt.Errorf("distrib: nil transport or policy")
+	}
+	if len(cfg.Specs) == 0 {
+		return nil, fmt.Errorf("distrib: no jobs")
+	}
+	if cfg.Quantum == 0 {
+		cfg.Quantum = 360
+	}
+	if (cfg.Costs == migrate.CostModel{}) {
+		cfg.Costs = migrate.Default()
+	}
+	if cfg.ReportTimeout == 0 {
+		cfg.ReportTimeout = 5 * time.Second
+	}
+	if cfg.MaxAgentTimeouts == 0 {
+		cfg.MaxAgentTimeouts = 50
+	}
+	if cfg.Tickets == nil {
+		cfg.Tickets = map[job.UserID]float64{}
+	}
+	prof, err := profiler.New(0.25, 0, 1) // noiseless: agents report true rates
+	if err != nil {
+		return nil, err
+	}
+	c := &Central{
+		cfg:      cfg,
+		tr:       tr,
+		policy:   policy,
+		prof:     prof,
+		serverOf: make(map[gpu.ServerID]int),
+		active:   make(map[job.ID]*job.Job),
+		missed:   make(map[string]int),
+		prev:     placement.Assignment{},
+		prevGen:  make(map[job.ID]gpu.Generation),
+		usage:    make(map[job.UserID]float64),
+	}
+	c.pending = make([]job.Spec, len(cfg.Specs))
+	copy(c.pending, cfg.Specs)
+	sort.SliceStable(c.pending, func(i, j int) bool { return c.pending[i].Arrival < c.pending[j].Arrival })
+	for i := range c.pending {
+		if err := c.pending[i].Validate(); err != nil {
+			return nil, err
+		}
+		if _, ok := cfg.Tickets[c.pending[i].User]; !ok {
+			cfg.Tickets[c.pending[i].User] = 1
+		}
+	}
+	return c, nil
+}
+
+// WaitForAgents blocks until n agents registered (or timeout), builds
+// the cluster inventory from their announcements, and acks each.
+func (c *Central) WaitForAgents(n int, timeout time.Duration) error {
+	deadline := time.After(timeout)
+	for len(c.agents) < n {
+		select {
+		case env, ok := <-c.tr.Recv():
+			if !ok {
+				return fmt.Errorf("distrib: transport closed during registration")
+			}
+			reg, isReg := env.Msg.(comm.Register)
+			if !isReg {
+				continue
+			}
+			g := gpu.Generation(reg.Gen)
+			if !g.Valid() || reg.GPUs <= 0 {
+				c.tr.Send(reg.Agent, comm.Envelope{From: c.tr.Name(),
+					Msg: comm.RegisterAck{OK: false, Reason: "invalid inventory"}})
+				continue
+			}
+			c.agents = append(c.agents, agentInfo{name: reg.Agent, gen: g, gpus: reg.GPUs})
+		case <-deadline:
+			return fmt.Errorf("distrib: only %d of %d agents registered", len(c.agents), n)
+		}
+	}
+	// Deterministic server IDs: sort agents by name, one server each.
+	sort.Slice(c.agents, func(i, j int) bool { return c.agents[i].name < c.agents[j].name })
+	specs := make([]gpu.Spec, len(c.agents))
+	for i, a := range c.agents {
+		specs[i] = gpu.Spec{Gen: a.gen, Servers: 1, GPUsPerSrv: a.gpus}
+	}
+	cluster, err := gpu.New(specs...)
+	if err != nil {
+		return err
+	}
+	c.cluster = cluster
+	for i, srv := range cluster.Servers() {
+		c.serverOf[srv.ID] = i
+	}
+	// Reject jobs that can never be placed on the registered
+	// inventory (a gang needs one generation with enough GPUs).
+	for i := range c.pending {
+		sp := &c.pending[i]
+		placeable := false
+		for _, g := range cluster.GensPresent() {
+			if sp.Perf.FitsOn(g) && sp.Gang <= cluster.Capacity(g) {
+				placeable = true
+				break
+			}
+		}
+		if !placeable {
+			return fmt.Errorf("distrib: job %d (gang %d, %s) fits no registered generation",
+				sp.ID, sp.Gang, sp.Perf.Model)
+		}
+	}
+	for _, a := range c.agents {
+		if err := c.tr.Send(a.name, comm.Envelope{From: c.tr.Name(), Msg: comm.RegisterAck{OK: true}}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary reports the distributed run's outcome.
+type Summary struct {
+	Rounds         int
+	Finished       []*job.Job
+	Unfinished     int
+	UsageByUser    map[job.UserID]float64 // occupied GPU-seconds
+	VirtualSeconds simclock.Duration
+	// MissedReports counts agent round-reports that timed out and
+	// were tolerated.
+	MissedReports int
+}
+
+// Run executes up to maxRounds scheduling rounds (stopping early when
+// all jobs finish) and shuts the agents down.
+func (c *Central) Run(maxRounds int) (*Summary, error) {
+	if c.cluster == nil {
+		return nil, fmt.Errorf("distrib: WaitForAgents first")
+	}
+	for round := 1; round <= maxRounds; round++ {
+		c.admit()
+		if len(c.active) == 0 {
+			if len(c.pending) == 0 {
+				break
+			}
+			c.now = c.now.Add(c.cfg.Quantum)
+			continue
+		}
+		if err := c.runRound(round); err != nil {
+			return nil, err
+		}
+		c.now = c.now.Add(c.cfg.Quantum)
+	}
+	for _, a := range c.agents {
+		c.tr.Send(a.name, comm.Envelope{From: c.tr.Name(), Msg: comm.Shutdown{}})
+	}
+	sort.Slice(c.done, func(i, j int) bool { return c.done[i].FinishTime() < c.done[j].FinishTime() })
+	rounds := 0
+	if c.now > 0 {
+		rounds = int(float64(c.now) / c.cfg.Quantum)
+	}
+	return &Summary{
+		Rounds:         rounds,
+		Finished:       c.done,
+		Unfinished:     len(c.active) + len(c.pending),
+		UsageByUser:    c.usage,
+		VirtualSeconds: simclock.Duration(c.now),
+		MissedReports:  c.timeouts,
+	}, nil
+}
+
+func (c *Central) admit() {
+	for len(c.pending) > 0 && c.pending[0].Arrival <= c.now {
+		j, err := job.New(c.pending[0])
+		if err == nil {
+			c.active[j.ID] = j
+		}
+		c.pending = c.pending[1:]
+	}
+}
+
+// suspectThreshold is how many consecutive missed reports mark an
+// agent's server down until it reports again.
+const suspectThreshold = 2
+
+// downServers returns servers whose agents are currently suspected
+// dead (failure detection by missed round reports).
+func (c *Central) downServers() map[gpu.ServerID]bool {
+	down := make(map[gpu.ServerID]bool)
+	for i, a := range c.agents {
+		if c.missed[a.name] >= suspectThreshold {
+			for sid, ai := range c.serverOf {
+				if ai == i {
+					down[sid] = true
+				}
+			}
+		}
+	}
+	return down
+}
+
+func (c *Central) runRound(round int) error {
+	jobs := make([]*job.Job, 0, len(c.active))
+	for _, j := range c.active {
+		jobs = append(jobs, j)
+	}
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].ID < jobs[k].ID })
+	for _, j := range jobs {
+		if c.prof.Samples(j.ID, c.cluster.GensPresent()[0]) == 0 {
+			c.prof.ProbeAll(j)
+		}
+	}
+
+	down := c.downServers()
+	st := &core.RoundState{
+		Now: c.now, Quantum: c.cfg.Quantum, Cluster: c.cluster,
+		Jobs: jobs, Tickets: c.cfg.Tickets, Prof: c.prof, PrevGen: c.prevGen,
+		Down: down,
+	}
+	dec := c.policy.Decide(st)
+	res := placement.Place(c.cluster, c.prev, dec.Run, placement.Options{AllowMigration: true, Down: down})
+	if err := placement.Validate(c.cluster, res.Assignment); err != nil {
+		return err
+	}
+	migrated := make(map[job.ID]bool)
+	for _, id := range res.Migrated {
+		migrated[id] = true
+	}
+
+	// Build per-agent plans.
+	plans := make(map[int]*comm.RoundPlan)
+	genOf := make(map[job.ID]gpu.Generation)
+	gangOf := make(map[job.ID]int)
+	baseDone := make(map[job.ID]float64)
+	for id, devs := range res.Assignment {
+		j := c.active[id]
+		gen := c.cluster.Device(devs[0]).Gen
+		genOf[id] = gen
+		gangOf[id] = j.Gang
+		baseDone[id] = j.DoneMB()
+		var overhead simclock.Duration
+		switch {
+		case migrated[id]:
+			overhead = c.cfg.Costs.MigrationCost(j.Perf)
+			j.NoteMigration()
+		case !j.RanLastQuantum():
+			overhead = c.cfg.Costs.ResumeCost()
+		}
+		// Group the job's devices by server; each agent gets its local
+		// slice. Multi-server gangs run at the full rate split across
+		// agents proportional to local GPUs (the span penalty is
+		// folded into overhead here for simplicity).
+		byServer := make(map[gpu.ServerID][]int)
+		for _, d := range devs {
+			dev := c.cluster.Device(d)
+			srv := c.cluster.Server(dev.Server)
+			local := 0
+			for li, sd := range srv.Devices {
+				if sd == d {
+					local = li
+				}
+			}
+			byServer[dev.Server] = append(byServer[dev.Server], local)
+		}
+		gangRate := j.GangRate(gen)
+		for sid, locals := range byServer {
+			ai := c.serverOf[sid]
+			plan := plans[ai]
+			if plan == nil {
+				plan = &comm.RoundPlan{Round: round, Quantum: c.cfg.Quantum}
+				plans[ai] = plan
+			}
+			frac := float64(len(locals)) / float64(len(devs))
+			plan.Jobs = append(plan.Jobs, comm.JobAssignment{
+				JobID: int64(id), User: string(j.User), Model: j.Perf.Model,
+				Gang: len(locals), LocalGPUs: locals,
+				DoneMB: j.DoneMB(), TotalMB: j.TotalMB,
+				GangRate: gangRate * frac,
+				Overhead: overhead,
+			})
+		}
+	}
+
+	// Ship plans and collect reports.
+	want := make(map[string]bool)
+	for ai, plan := range plans {
+		name := c.agents[ai].name
+		if err := c.tr.Send(name, comm.Envelope{From: c.tr.Name(), Msg: *plan}); err != nil {
+			return err
+		}
+		want[name] = true
+	}
+	progress := make(map[job.ID]comm.JobProgress)
+	deadline := time.After(c.cfg.ReportTimeout)
+	for len(want) > 0 {
+		select {
+		case env, ok := <-c.tr.Recv():
+			if !ok {
+				return fmt.Errorf("distrib: transport closed mid-round")
+			}
+			rep, isRep := env.Msg.(comm.RoundReport)
+			if !isRep || rep.Round != round || !want[rep.Agent] {
+				continue
+			}
+			delete(want, rep.Agent)
+			c.missed[rep.Agent] = 0
+			for _, p := range rep.Jobs {
+				id := job.ID(p.JobID)
+				prev, seen := progress[id]
+				if !seen {
+					progress[id] = p
+					continue
+				}
+				// Multi-server gang: each shard reports progress at
+				// its fraction of the gang rate over the same base, so
+				// increments add (and the gang finishes when the
+				// summed progress reaches the total).
+				prev.DoneMB += p.DoneMB - baseDone[id]
+				if prev.DoneMB >= c.active[id].TotalMB-1e-6 {
+					prev.DoneMB = c.active[id].TotalMB
+					prev.Finished = true
+				}
+				prev.UsedSecs += p.UsedSecs
+				progress[id] = prev
+			}
+		case <-deadline:
+			if c.cfg.StrictReports {
+				return fmt.Errorf("distrib: round %d: %d agents did not report", round, len(want))
+			}
+			c.timeouts += len(want)
+			if c.timeouts > c.cfg.MaxAgentTimeouts {
+				return fmt.Errorf("distrib: %d missed agent reports, giving up", c.timeouts)
+			}
+			// Tolerate the silence: the missing agents' jobs make no
+			// progress this round; after suspectThreshold consecutive
+			// misses the agent's server is treated as down and its
+			// jobs migrate elsewhere.
+			for name := range want {
+				c.missed[name]++
+			}
+			want = map[string]bool{}
+		}
+	}
+
+	// Apply reports, exactly as the paper's central scheduler updates
+	// its view from server heartbeats.
+	rep := &core.ExecReport{Ran: make(map[job.ID]core.RanInfo)}
+	ranThisRound := make(map[job.ID]bool)
+	for id, p := range progress {
+		j := c.active[id]
+		if j == nil {
+			continue
+		}
+		gen := genOf[id]
+		gang := float64(gangOf[id])
+		j.ApplyReport(p.DoneMB, gen, gang*p.UsedSecs, p.Finished, c.now.Add(c.cfg.Quantum))
+		c.usage[j.User] += gang * c.cfg.Quantum
+		ranThisRound[id] = true
+		rep.Ran[id] = core.RanInfo{
+			User: j.User, Gen: gen, Gang: gangOf[id],
+			OccupiedSecs: c.cfg.Quantum, UsefulSecs: p.UsedSecs,
+			Migrated: migrated[id], Finished: p.Finished,
+		}
+		if !p.Finished {
+			c.prof.Observe(j, gen)
+		}
+	}
+	rep.Unplaced = res.Unplaced
+	c.policy.Executed(rep)
+
+	newPrev := placement.Assignment{}
+	for id, devs := range res.Assignment {
+		j := c.active[id]
+		if j == nil {
+			continue
+		}
+		if j.Finished() {
+			c.done = append(c.done, j)
+			c.policy.JobFinished(id)
+			c.prof.Remove(id)
+			delete(c.active, id)
+			delete(c.prevGen, id)
+			continue
+		}
+		newPrev[id] = devs
+		c.prevGen[id] = genOf[id]
+	}
+	for id, j := range c.active {
+		if j.State() == job.Running && !ranThisRound[id] {
+			j.SetRunning(false)
+		}
+		if !j.Finished() && ranThisRound[id] && j.State() != job.Running {
+			j.SetRunning(true)
+		}
+		j.NoteQuantum(ranThisRound[id])
+	}
+	c.prev = newPrev
+	return nil
+}

@@ -1,0 +1,139 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (as indexed in DESIGN.md §5) on the simulated
+// substrate. Each experiment returns a Table — the textual equivalent
+// of the paper's artifact — and is addressable by ID through the
+// registry, which cmd/gfbench and the root bench suite drive.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Table is one regenerated paper artifact.
+type Table struct {
+	ID      string // experiment ID, e.g. "E10"
+	Title   string // what the paper artifact shows
+	Notes   string // interpretation: what shape to look for
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; it must match the column count.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("experiments: %s row has %d cells, want %d", t.ID, len(cells), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len([]rune(c))
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if n := len([]rune(c)); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len([]rune(c))))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Notes)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Options tunes experiment execution.
+type Options struct {
+	// Seed drives all randomness; experiments are deterministic for a
+	// fixed seed. Zero means 42.
+	Seed int64
+
+	// Quick shrinks horizons and workloads ≈5× for use inside
+	// benchmarks and smoke tests; the shapes still hold, the
+	// confidence intervals are just wider.
+	Quick bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// Experiment couples an ID to its runner.
+type Experiment struct {
+	ID       string
+	Title    string
+	Artifact string // which paper table/figure it regenerates
+	Run      func(Options) (*Table, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) {
+	registry = append(registry, e)
+}
+
+// All returns the registered experiments sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return idLess(out[i].ID, out[j].ID) })
+	return out
+}
+
+// idLess orders E1 < E2 < ... < E10 < A1 ... numerically within each
+// letter prefix, experiments (E) before ablations (A).
+func idLess(a, b string) bool {
+	pa, pb := a[0], b[0]
+	if pa != pb {
+		return pa == 'E' // E before A
+	}
+	var na, nb int
+	fmt.Sscanf(a[1:], "%d", &na)
+	fmt.Sscanf(b[1:], "%d", &nb)
+	return na < nb
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, error) {
+	for _, e := range registry {
+		if strings.EqualFold(e.ID, id) {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

@@ -1,0 +1,255 @@
+// Package fairshare implements ticket-based fair-share accounting
+// with max–min water-filling, the foundation of Gandiva_fair's
+// fairness guarantee: cluster-wide GPU time is divided among active
+// users in ticket proportion, and share a user cannot consume (demand
+// below entitlement) is redistributed to the others, again in ticket
+// proportion (work conservation).
+package fairshare
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/gpu"
+	"repro/internal/job"
+)
+
+// Epsilon below which shares and demands are treated as zero.
+const eps = 1e-9
+
+// Compute performs max–min water-filling: it divides capacity GPUs
+// among users in proportion to tickets, capping each user at their
+// demand and redistributing the surplus until either all capacity is
+// assigned or all demand is met. Users absent from tickets get weight
+// zero; users with zero demand get zero share.
+//
+// The returned shares are fractional GPUs (realized over time by
+// time-slicing). Invariants: 0 ≤ share[u] ≤ demand[u];
+// Σ share = min(capacity, Σ demand).
+func Compute(tickets, demand map[job.UserID]float64, capacity float64) map[job.UserID]float64 {
+	shares := make(map[job.UserID]float64, len(demand))
+	if capacity <= eps {
+		return shares
+	}
+	type user struct {
+		id job.UserID
+		t  float64
+		d  float64
+	}
+	var active []user
+	for id, d := range demand {
+		t := tickets[id]
+		if d > eps && t > eps {
+			active = append(active, user{id, t, d})
+		}
+	}
+	// Deterministic iteration order regardless of map layout.
+	sort.Slice(active, func(i, j int) bool { return active[i].id < active[j].id })
+
+	remaining := capacity
+	for len(active) > 0 && remaining > eps {
+		var ticketSum float64
+		for _, u := range active {
+			ticketSum += u.t
+		}
+		// Tentatively split remaining capacity by tickets; users whose
+		// demand caps below their slice are finalized at demand.
+		capped := false
+		next := active[:0]
+		for _, u := range active {
+			slice := remaining * u.t / ticketSum
+			if u.d <= slice+eps {
+				shares[u.id] += u.d
+				capped = true
+			} else {
+				next = append(next, u)
+			}
+		}
+		if !capped {
+			// No one capped: everyone takes their proportional slice.
+			for _, u := range next {
+				shares[u.id] += remaining * u.t / ticketSum
+			}
+			remaining = 0
+			break
+		}
+		// Recompute remaining after finalizing capped users.
+		used := 0.0
+		for _, s := range shares {
+			used += s
+		}
+		remaining = capacity - used
+		active = next
+	}
+	return shares
+}
+
+// SplitByGen apportions a user's total share across GPU generations in
+// proportion to cluster capacity — the heterogeneity-blind entitlement
+// the trading mechanism then improves upon. capacities maps each
+// present generation to its GPU count.
+func SplitByGen(total float64, capacities map[gpu.Generation]int) map[gpu.Generation]float64 {
+	out := make(map[gpu.Generation]float64, len(capacities))
+	var sum float64
+	for _, c := range capacities {
+		sum += float64(c)
+	}
+	if sum <= eps || total <= eps {
+		return out
+	}
+	for g, c := range capacities {
+		out[g] = total * float64(c) / sum
+	}
+	return out
+}
+
+// Entitlement is a user's per-generation fair share for one scheduling
+// round, in (fractional) GPUs.
+type Entitlement map[gpu.Generation]float64
+
+// Total sums the entitlement across generations.
+func (e Entitlement) Total() float64 {
+	var s float64
+	for _, v := range e {
+		s += v
+	}
+	return s
+}
+
+// Clone deep-copies the entitlement.
+func (e Entitlement) Clone() Entitlement {
+	out := make(Entitlement, len(e))
+	for g, v := range e {
+		out[g] = v
+	}
+	return out
+}
+
+// Allocation is the full per-user entitlement map for one round.
+type Allocation map[job.UserID]Entitlement
+
+// Clone deep-copies the allocation.
+func (a Allocation) Clone() Allocation {
+	out := make(Allocation, len(a))
+	for u, e := range a {
+		out[u] = e.Clone()
+	}
+	return out
+}
+
+// TotalByGen sums entitlements per generation across users.
+func (a Allocation) TotalByGen() map[gpu.Generation]float64 {
+	out := make(map[gpu.Generation]float64)
+	for _, e := range a {
+		for g, v := range e {
+			out[g] += v
+		}
+	}
+	return out
+}
+
+// ComputeAllocation runs the full fair-share pipeline for one round:
+// water-fill total cluster capacity by tickets and demand, then split
+// each user's share across generations by capacity proportion.
+//
+// demand[u] is the user's total runnable gang width in GPUs.
+func ComputeAllocation(tickets, demand map[job.UserID]float64, capacities map[gpu.Generation]int) Allocation {
+	var total float64
+	for _, c := range capacities {
+		total += float64(c)
+	}
+	shares := Compute(tickets, demand, total)
+	alloc := make(Allocation, len(shares))
+	for u, s := range shares {
+		alloc[u] = SplitByGen(s, capacities)
+	}
+	return alloc
+}
+
+// Validate checks allocation invariants against capacity and demand:
+// per-generation totals within capacity and per-user totals within
+// demand (both up to floating-point slack). It returns the first
+// violation found.
+func (a Allocation) Validate(demand map[job.UserID]float64, capacities map[gpu.Generation]int) error {
+	const slack = 1e-6
+	for g, tot := range a.TotalByGen() {
+		if tot > float64(capacities[g])+slack {
+			return fmt.Errorf("fairshare: generation %v over-allocated: %v > %d", g, tot, capacities[g])
+		}
+	}
+	for u, e := range a {
+		if t := e.Total(); t > demand[u]+slack {
+			return fmt.Errorf("fairshare: user %s over demand: %v > %v", u, t, demand[u])
+		}
+		for g, v := range e {
+			if v < -slack {
+				return fmt.Errorf("fairshare: user %s negative share on %v: %v", u, g, v)
+			}
+		}
+	}
+	return nil
+}
+
+// JobTickets splits a user's tickets equally among their runnable
+// jobs, so a user cannot increase their share by splitting work into
+// more jobs (the paper's two-level ticket hierarchy). jobsPerUser maps
+// user → number of runnable jobs.
+func JobTickets(tickets map[job.UserID]float64, jobsPerUser map[job.UserID]int) map[job.UserID]float64 {
+	out := make(map[job.UserID]float64, len(jobsPerUser))
+	for u, n := range jobsPerUser {
+		if n <= 0 {
+			continue
+		}
+		t := tickets[u]
+		if t <= eps {
+			continue
+		}
+		out[u] = t / float64(n)
+	}
+	return out
+}
+
+// FairFractions returns each active user's ideal share fraction:
+// t_u / Σ t_v over the active set. Metrics use this as the fairness
+// baseline. Users with nonpositive tickets get fraction zero.
+func FairFractions(tickets map[job.UserID]float64, active []job.UserID) map[job.UserID]float64 {
+	out := make(map[job.UserID]float64, len(active))
+	var sum float64
+	for _, u := range active {
+		if t := tickets[u]; t > eps {
+			sum += t
+		}
+	}
+	if sum <= eps {
+		return out
+	}
+	for _, u := range active {
+		if t := tickets[u]; t > eps {
+			out[u] = t / sum
+		} else {
+			out[u] = 0
+		}
+	}
+	return out
+}
+
+// EqualTickets builds a ticket map giving every listed user weight 1.
+func EqualTickets(users ...job.UserID) map[job.UserID]float64 {
+	m := make(map[job.UserID]float64, len(users))
+	for _, u := range users {
+		m[u] = 1
+	}
+	return m
+}
+
+// MaxShareError returns the largest absolute deviation between
+// observed share fractions and ideal fractions — a scalar fairness
+// score used across the experiments (0 = perfectly fair).
+func MaxShareError(observed, ideal map[job.UserID]float64) float64 {
+	var worst float64
+	for u, want := range ideal {
+		worst = math.Max(worst, math.Abs(observed[u]-want))
+	}
+	return worst
+}

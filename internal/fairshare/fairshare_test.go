@@ -1,0 +1,251 @@
+package fairshare
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/job"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestComputeEqualTicketsAmpleDemand(t *testing.T) {
+	tk := EqualTickets("a", "b", "c", "d")
+	dm := map[job.UserID]float64{"a": 100, "b": 100, "c": 100, "d": 100}
+	sh := Compute(tk, dm, 40)
+	for u, s := range sh {
+		if !almost(s, 10) {
+			t.Errorf("share[%s] = %v, want 10", u, s)
+		}
+	}
+}
+
+func TestComputeProportionalTickets(t *testing.T) {
+	tk := map[job.UserID]float64{"a": 3, "b": 1}
+	dm := map[job.UserID]float64{"a": 100, "b": 100}
+	sh := Compute(tk, dm, 40)
+	if !almost(sh["a"], 30) || !almost(sh["b"], 10) {
+		t.Errorf("shares = %v, want a:30 b:10", sh)
+	}
+}
+
+func TestComputeWaterFillingRedistribution(t *testing.T) {
+	// a can only use 2 GPUs; its surplus flows to b and c in ticket
+	// proportion.
+	tk := EqualTickets("a", "b", "c")
+	dm := map[job.UserID]float64{"a": 2, "b": 100, "c": 100}
+	sh := Compute(tk, dm, 30)
+	if !almost(sh["a"], 2) {
+		t.Errorf("capped user got %v, want 2", sh["a"])
+	}
+	if !almost(sh["b"], 14) || !almost(sh["c"], 14) {
+		t.Errorf("surplus not redistributed: %v", sh)
+	}
+}
+
+func TestComputeCascadingCaps(t *testing.T) {
+	// Two rounds of capping: a caps at 1, then b caps at 5.
+	tk := EqualTickets("a", "b", "c")
+	dm := map[job.UserID]float64{"a": 1, "b": 5, "c": 100}
+	sh := Compute(tk, dm, 30)
+	if !almost(sh["a"], 1) || !almost(sh["b"], 5) || !almost(sh["c"], 24) {
+		t.Errorf("shares = %v, want a:1 b:5 c:24", sh)
+	}
+}
+
+func TestComputeUndersubscribed(t *testing.T) {
+	tk := EqualTickets("a", "b")
+	dm := map[job.UserID]float64{"a": 3, "b": 4}
+	sh := Compute(tk, dm, 100)
+	if !almost(sh["a"], 3) || !almost(sh["b"], 4) {
+		t.Errorf("undersubscribed shares = %v, want demand met exactly", sh)
+	}
+}
+
+func TestComputeEdgeCases(t *testing.T) {
+	if sh := Compute(nil, nil, 10); len(sh) != 0 {
+		t.Errorf("empty inputs → %v", sh)
+	}
+	if sh := Compute(EqualTickets("a"), map[job.UserID]float64{"a": 5}, 0); len(sh) != 0 {
+		t.Errorf("zero capacity → %v", sh)
+	}
+	// Zero tickets ⇒ no share even with demand.
+	sh := Compute(map[job.UserID]float64{"a": 0, "b": 1},
+		map[job.UserID]float64{"a": 10, "b": 10}, 10)
+	if sh["a"] != 0 || !almost(sh["b"], 10) {
+		t.Errorf("zero-ticket user: %v", sh)
+	}
+	// Zero demand ⇒ no share.
+	sh = Compute(EqualTickets("a", "b"), map[job.UserID]float64{"a": 0, "b": 10}, 10)
+	if sh["a"] != 0 || !almost(sh["b"], 10) {
+		t.Errorf("zero-demand user: %v", sh)
+	}
+}
+
+// Property suite for water-filling.
+func TestPropertyWaterFilling(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(8)
+		tk := map[job.UserID]float64{}
+		dm := map[job.UserID]float64{}
+		var users []job.UserID
+		for i := 0; i < n; i++ {
+			u := job.UserID(string(rune('a' + i)))
+			users = append(users, u)
+			tk[u] = float64(rng.Intn(5)) // may be zero
+			dm[u] = float64(rng.Intn(20))
+		}
+		capacity := float64(rng.Intn(50))
+		sh := Compute(tk, dm, capacity)
+
+		var shareSum, demandSum float64
+		for _, u := range users {
+			if sh[u] < -1e-9 {
+				t.Fatalf("negative share %v", sh[u])
+			}
+			if sh[u] > dm[u]+1e-6 {
+				t.Fatalf("share %v exceeds demand %v", sh[u], dm[u])
+			}
+			shareSum += sh[u]
+			if tk[u] > 0 {
+				demandSum += dm[u]
+			}
+		}
+		if shareSum > capacity+1e-6 {
+			t.Fatalf("allocated %v > capacity %v", shareSum, capacity)
+		}
+		// Work conservation: all capacity used or all demand met.
+		if shareSum < math.Min(capacity, demandSum)-1e-6 {
+			t.Fatalf("left capacity on the table: allocated %v, capacity %v, demand %v",
+				shareSum, capacity, demandSum)
+		}
+		// Uncapped users (share < demand) must be ticket-proportional
+		// to each other.
+		type unc struct{ s, t float64 }
+		var us []unc
+		for _, u := range users {
+			if tk[u] > 0 && sh[u] < dm[u]-1e-6 && sh[u] > 1e-9 {
+				us = append(us, unc{sh[u], tk[u]})
+			}
+		}
+		for i := 1; i < len(us); i++ {
+			r0 := us[0].s / us[0].t
+			ri := us[i].s / us[i].t
+			if math.Abs(r0-ri) > 1e-6 {
+				t.Fatalf("uncapped users not proportional: %v vs %v", r0, ri)
+			}
+		}
+	}
+}
+
+func TestSplitByGen(t *testing.T) {
+	caps := map[gpu.Generation]int{gpu.K80: 40, gpu.V100: 10}
+	e := SplitByGen(10, caps)
+	if !almost(e[gpu.K80], 8) || !almost(e[gpu.V100], 2) {
+		t.Errorf("split = %v, want K80:8 V100:2", e)
+	}
+	if len(SplitByGen(0, caps)) != 0 {
+		t.Error("zero total split nonempty")
+	}
+	if len(SplitByGen(5, nil)) != 0 {
+		t.Error("nil capacities split nonempty")
+	}
+}
+
+func TestComputeAllocationAndValidate(t *testing.T) {
+	caps := map[gpu.Generation]int{gpu.K80: 30, gpu.V100: 10}
+	tk := EqualTickets("a", "b")
+	dm := map[job.UserID]float64{"a": 100, "b": 100}
+	alloc := ComputeAllocation(tk, dm, caps)
+	if err := alloc.Validate(dm, caps); err != nil {
+		t.Fatal(err)
+	}
+	if !almost(alloc["a"].Total(), 20) || !almost(alloc["b"].Total(), 20) {
+		t.Errorf("totals = %v", alloc)
+	}
+	if !almost(alloc["a"][gpu.V100], 5) {
+		t.Errorf("a's V100 share = %v, want 5", alloc["a"][gpu.V100])
+	}
+	byGen := alloc.TotalByGen()
+	if !almost(byGen[gpu.K80], 30) || !almost(byGen[gpu.V100], 10) {
+		t.Errorf("per-gen totals = %v", byGen)
+	}
+}
+
+func TestAllocationValidateCatchesViolations(t *testing.T) {
+	caps := map[gpu.Generation]int{gpu.K80: 10}
+	dm := map[job.UserID]float64{"a": 5}
+	over := Allocation{"a": {gpu.K80: 11}}
+	if over.Validate(dm, caps) == nil {
+		t.Error("over-capacity allocation validated")
+	}
+	overDemand := Allocation{"a": {gpu.K80: 6}}
+	if overDemand.Validate(dm, caps) == nil {
+		t.Error("over-demand allocation validated")
+	}
+	neg := Allocation{"a": {gpu.K80: -1}}
+	if neg.Validate(dm, caps) == nil {
+		t.Error("negative allocation validated")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := Allocation{"a": {gpu.K80: 1, gpu.V100: 2}}
+	b := a.Clone()
+	b["a"][gpu.K80] = 99
+	if a["a"][gpu.K80] != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestJobTickets(t *testing.T) {
+	tk := map[job.UserID]float64{"a": 6, "b": 2, "c": 0}
+	jobs := map[job.UserID]int{"a": 3, "b": 1, "c": 4, "d": 2}
+	jt := JobTickets(tk, jobs)
+	if !almost(jt["a"], 2) || !almost(jt["b"], 2) {
+		t.Errorf("job tickets = %v", jt)
+	}
+	if _, ok := jt["c"]; ok {
+		t.Error("zero-ticket user present")
+	}
+	if _, ok := jt["d"]; ok {
+		t.Error("unknown user present")
+	}
+	if len(JobTickets(tk, map[job.UserID]int{"a": 0})) != 0 {
+		t.Error("user with zero jobs got tickets")
+	}
+}
+
+func TestFairFractions(t *testing.T) {
+	tk := map[job.UserID]float64{"a": 1, "b": 3}
+	fr := FairFractions(tk, []job.UserID{"a", "b"})
+	if !almost(fr["a"], 0.25) || !almost(fr["b"], 0.75) {
+		t.Errorf("fractions = %v", fr)
+	}
+	// Inactive users excluded from the denominator.
+	fr = FairFractions(tk, []job.UserID{"b"})
+	if !almost(fr["b"], 1) {
+		t.Errorf("single active fraction = %v", fr["b"])
+	}
+	if len(FairFractions(tk, nil)) != 0 {
+		t.Error("no active users → nonempty fractions")
+	}
+	fr = FairFractions(map[job.UserID]float64{"a": 0}, []job.UserID{"a"})
+	if len(fr) != 0 {
+		t.Errorf("all-zero tickets → %v", fr)
+	}
+}
+
+func TestMaxShareError(t *testing.T) {
+	ideal := map[job.UserID]float64{"a": 0.5, "b": 0.5}
+	obs := map[job.UserID]float64{"a": 0.45, "b": 0.55}
+	if e := MaxShareError(obs, ideal); !almost(e, 0.05) {
+		t.Errorf("MaxShareError = %v, want 0.05", e)
+	}
+	if e := MaxShareError(map[job.UserID]float64{}, ideal); !almost(e, 0.5) {
+		t.Errorf("missing observations → %v, want 0.5", e)
+	}
+}

@@ -1,0 +1,108 @@
+package fairshare
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/job"
+)
+
+func orgFixture() map[string]*Org {
+	return map[string]*Org{
+		"research": {Tickets: 2, Weights: map[job.UserID]float64{"r1": 1, "r2": 1, "r3": 2}},
+		"prod":     {Tickets: 2, Weights: map[job.UserID]float64{"p1": 1}},
+	}
+}
+
+func TestNewHierarchyValidation(t *testing.T) {
+	if _, err := NewHierarchy(nil); err == nil {
+		t.Error("empty hierarchy accepted")
+	}
+	bad := []map[string]*Org{
+		{"a": nil},
+		{"a": {Tickets: 0, Weights: map[job.UserID]float64{"u": 1}}},
+		{"a": {Tickets: 1, Weights: nil}},
+		{"a": {Tickets: 1, Weights: map[job.UserID]float64{"u": 0}}},
+		{"a": {Tickets: 1, Weights: map[job.UserID]float64{"u": 1}},
+			"b": {Tickets: 1, Weights: map[job.UserID]float64{"u": 1}}}, // dup user
+	}
+	for i, o := range bad {
+		if _, err := NewHierarchy(o); err == nil {
+			t.Errorf("bad hierarchy %d accepted", i)
+		}
+	}
+	if _, err := NewHierarchy(orgFixture()); err != nil {
+		t.Fatalf("valid hierarchy rejected: %v", err)
+	}
+}
+
+func TestHierarchyUsers(t *testing.T) {
+	h := MustNewHierarchy(orgFixture())
+	users := h.Users()
+	want := []job.UserID{"p1", "r1", "r2", "r3"}
+	if len(users) != len(want) {
+		t.Fatalf("Users = %v", users)
+	}
+	for i := range want {
+		if users[i] != want[i] {
+			t.Fatalf("Users = %v, want %v", users, want)
+		}
+	}
+}
+
+func TestFlattenAllActive(t *testing.T) {
+	h := MustNewHierarchy(orgFixture())
+	tk := h.Flatten([]job.UserID{"r1", "r2", "r3", "p1"})
+	// research's 2 tickets split 1:1:2 over r1,r2,r3; prod's 2 go to p1.
+	if !almost(tk["r1"], 0.5) || !almost(tk["r2"], 0.5) || !almost(tk["r3"], 1.0) {
+		t.Errorf("research tickets = %v", tk)
+	}
+	if !almost(tk["p1"], 2.0) {
+		t.Errorf("prod tickets = %v", tk["p1"])
+	}
+}
+
+func TestFlattenPartialActivity(t *testing.T) {
+	h := MustNewHierarchy(orgFixture())
+	// Only r1 active in research: it inherits the whole org pool, so
+	// the org's standing against prod is preserved.
+	tk := h.Flatten([]job.UserID{"r1", "p1"})
+	if !almost(tk["r1"], 2.0) || !almost(tk["p1"], 2.0) {
+		t.Errorf("tickets = %v, want r1 and p1 at 2 each", tk)
+	}
+	if _, ok := tk["r2"]; ok {
+		t.Error("inactive user got tickets")
+	}
+	// Unknown users get nothing.
+	tk = h.Flatten([]job.UserID{"stranger"})
+	if len(tk) != 0 {
+		t.Errorf("stranger got %v", tk)
+	}
+}
+
+func TestFlattenOrgFullyIdle(t *testing.T) {
+	h := MustNewHierarchy(orgFixture())
+	tk := h.Flatten([]job.UserID{"p1"})
+	if len(tk) != 1 || !almost(tk["p1"], 2) {
+		t.Errorf("tickets = %v", tk)
+	}
+}
+
+// Org-level fairness end to end: whatever the member counts, the two
+// orgs' aggregate water-filled shares stay 1:1.
+func TestHierarchyOrgLevelShares(t *testing.T) {
+	h := MustNewHierarchy(orgFixture())
+	active := []job.UserID{"r1", "r2", "r3", "p1"}
+	tk := h.Flatten(active)
+	demand := map[job.UserID]float64{"r1": 100, "r2": 100, "r3": 100, "p1": 100}
+	shares := Compute(tk, demand, 40)
+	research := shares["r1"] + shares["r2"] + shares["r3"]
+	prod := shares["p1"]
+	if !almost(research, 20) || !almost(prod, 20) {
+		t.Fatalf("org shares research=%v prod=%v, want 20/20", research, prod)
+	}
+	// Intra-org: r3 has weight 2 ⇒ twice r1's share.
+	if math.Abs(shares["r3"]-2*shares["r1"]) > 1e-9 {
+		t.Errorf("intra-org weights not honored: %v", shares)
+	}
+}

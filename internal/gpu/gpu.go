@@ -1,0 +1,258 @@
+// Package gpu models the hardware inventory of a heterogeneous GPU
+// cluster: GPU generations, servers (each holding a small number of
+// GPUs of a single generation), and the cluster as a whole.
+//
+// The package is pure inventory — who occupies which device is the
+// placement layer's concern. Keeping inventory immutable after
+// construction lets every scheduler component share one *Cluster
+// without synchronization.
+package gpu
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Generation identifies a GPU hardware generation. Order matters:
+// higher values are newer/faster generations, which the trading
+// mechanism relies on when enumerating (fast, slow) pairs.
+type Generation int
+
+// The generations evaluated in the paper's 200-GPU Azure cluster.
+const (
+	K80 Generation = iota
+	P40
+	P100
+	V100
+	numGenerations
+)
+
+// Generations lists all generations from oldest to newest.
+func Generations() []Generation {
+	g := make([]Generation, numGenerations)
+	for i := range g {
+		g[i] = Generation(i)
+	}
+	return g
+}
+
+// NumGenerations is the number of modeled GPU generations.
+const NumGenerations = int(numGenerations)
+
+func (g Generation) String() string {
+	switch g {
+	case K80:
+		return "K80"
+	case P40:
+		return "P40"
+	case P100:
+		return "P100"
+	case V100:
+		return "V100"
+	default:
+		return fmt.Sprintf("Generation(%d)", int(g))
+	}
+}
+
+// Valid reports whether g is one of the defined generations.
+func (g Generation) Valid() bool { return g >= 0 && g < numGenerations }
+
+// ParseGeneration converts a name like "V100" to a Generation.
+func ParseGeneration(s string) (Generation, error) {
+	for _, g := range Generations() {
+		if g.String() == s {
+			return g, nil
+		}
+	}
+	return 0, fmt.Errorf("gpu: unknown generation %q", s)
+}
+
+// MemGB returns the device memory of the generation in gigabytes.
+// (Used by the job model to bound which models fit; values are the
+// common SKUs: K80 12 GB/die, P40 24 GB, P100 16 GB, V100 16 GB.)
+func (g Generation) MemGB() float64 {
+	switch g {
+	case K80:
+		return 12
+	case P40:
+		return 24
+	case P100:
+		return 16
+	case V100:
+		return 16
+	default:
+		return 0
+	}
+}
+
+// DeviceID names a single GPU, unique cluster-wide.
+type DeviceID int32
+
+// ServerID names a server, unique cluster-wide.
+type ServerID int32
+
+// Device is one physical GPU.
+type Device struct {
+	ID     DeviceID
+	Server ServerID
+	Gen    Generation
+}
+
+// Server is one machine holding GPUs of a single generation (as in the
+// paper's testbed, where each VM SKU carries one GPU type).
+type Server struct {
+	ID      ServerID
+	Gen     Generation
+	Devices []DeviceID // sorted ascending
+}
+
+// NumGPUs returns the number of GPUs on the server.
+func (s *Server) NumGPUs() int { return len(s.Devices) }
+
+// Spec describes a group of identical servers for cluster construction.
+type Spec struct {
+	Gen        Generation
+	Servers    int // number of servers of this kind
+	GPUsPerSrv int // GPUs on each
+}
+
+// Cluster is the full, immutable hardware inventory.
+type Cluster struct {
+	servers []*Server
+	devices []Device // indexed by DeviceID
+	byGen   [numGenerations][]DeviceID
+	srvGen  [numGenerations][]ServerID
+}
+
+// New builds a cluster from server specs. Device and server IDs are
+// assigned densely in spec order, so a given spec list always produces
+// the same inventory (determinism).
+func New(specs ...Spec) (*Cluster, error) {
+	c := &Cluster{}
+	for _, sp := range specs {
+		if !sp.Gen.Valid() {
+			return nil, fmt.Errorf("gpu: invalid generation %d in spec", int(sp.Gen))
+		}
+		if sp.Servers <= 0 || sp.GPUsPerSrv <= 0 {
+			return nil, fmt.Errorf("gpu: spec %v must have positive servers and GPUs", sp.Gen)
+		}
+		for i := 0; i < sp.Servers; i++ {
+			srv := &Server{ID: ServerID(len(c.servers)), Gen: sp.Gen}
+			for j := 0; j < sp.GPUsPerSrv; j++ {
+				id := DeviceID(len(c.devices))
+				c.devices = append(c.devices, Device{ID: id, Server: srv.ID, Gen: sp.Gen})
+				srv.Devices = append(srv.Devices, id)
+				c.byGen[sp.Gen] = append(c.byGen[sp.Gen], id)
+			}
+			c.servers = append(c.servers, srv)
+			c.srvGen[sp.Gen] = append(c.srvGen[sp.Gen], srv.ID)
+		}
+	}
+	if len(c.devices) == 0 {
+		return nil, fmt.Errorf("gpu: empty cluster")
+	}
+	return c, nil
+}
+
+// MustNew is New but panics on error; for tests and fixed fixtures.
+func MustNew(specs ...Spec) *Cluster {
+	c, err := New(specs...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Default200 returns the repository's default heterogeneous cluster,
+// sized like the paper's 200-GPU testbed: 12×4 K80, 12×4 P40,
+// 14×4 P100, 12×4 V100 = 48+48+56+48 = 200 GPUs on 50 servers.
+func Default200() *Cluster {
+	return MustNew(
+		Spec{Gen: K80, Servers: 12, GPUsPerSrv: 4},
+		Spec{Gen: P40, Servers: 12, GPUsPerSrv: 4},
+		Spec{Gen: P100, Servers: 14, GPUsPerSrv: 4},
+		Spec{Gen: V100, Servers: 12, GPUsPerSrv: 4},
+	)
+}
+
+// NumDevices returns the total GPU count.
+func (c *Cluster) NumDevices() int { return len(c.devices) }
+
+// NumServers returns the server count.
+func (c *Cluster) NumServers() int { return len(c.servers) }
+
+// Device returns the device record for id.
+func (c *Cluster) Device(id DeviceID) Device {
+	return c.devices[id]
+}
+
+// Server returns the server record for id.
+func (c *Cluster) Server(id ServerID) *Server {
+	return c.servers[id]
+}
+
+// Servers returns all servers in ID order. Callers must not mutate.
+func (c *Cluster) Servers() []*Server { return c.servers }
+
+// DevicesOf returns the device IDs of a generation in ascending order.
+// Callers must not mutate the returned slice.
+func (c *Cluster) DevicesOf(g Generation) []DeviceID {
+	if !g.Valid() {
+		return nil
+	}
+	return c.byGen[g]
+}
+
+// ServersOf returns the server IDs holding a generation.
+func (c *Cluster) ServersOf(g Generation) []ServerID {
+	if !g.Valid() {
+		return nil
+	}
+	return c.srvGen[g]
+}
+
+// CapacityByGen returns GPU counts per generation.
+func (c *Cluster) CapacityByGen() map[Generation]int {
+	m := make(map[Generation]int, numGenerations)
+	for _, g := range Generations() {
+		if n := len(c.byGen[g]); n > 0 {
+			m[g] = n
+		}
+	}
+	return m
+}
+
+// Capacity returns the GPU count of one generation.
+func (c *Cluster) Capacity(g Generation) int {
+	if !g.Valid() {
+		return 0
+	}
+	return len(c.byGen[g])
+}
+
+// GensPresent returns the generations with at least one GPU, oldest
+// first.
+func (c *Cluster) GensPresent() []Generation {
+	var out []Generation
+	for _, g := range Generations() {
+		if len(c.byGen[g]) > 0 {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// String summarizes the inventory, e.g.
+// "cluster{K80:48 P40:48 P100:56 V100:48 | 50 servers}".
+func (c *Cluster) String() string {
+	gens := c.GensPresent()
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	s := "cluster{"
+	for i, g := range gens {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%v:%d", g, len(c.byGen[g]))
+	}
+	return s + fmt.Sprintf(" | %d servers}", len(c.servers))
+}

@@ -1,0 +1,399 @@
+// Package job models deep-learning training (DLT) jobs as the
+// scheduler sees them: a gang of GPUs, a stream of minibatches whose
+// per-iteration time depends on the GPU generation, and
+// suspend/resume/migration costs.
+//
+// The scheduler never looks inside a training framework; everything it
+// needs is (a) progress per unit time per generation, observable at
+// iteration boundaries, and (b) the cost of moving or pausing the job.
+// Both are modeled explicitly here, which is what makes the simulated
+// substrate faithful for scheduling purposes.
+package job
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gpu"
+	"repro/internal/simclock"
+)
+
+// ID identifies a job, unique within a simulation.
+type ID int64
+
+// UserID identifies the user (tenant) owning a job.
+type UserID string
+
+// Perf is a model's performance profile: how fast one minibatch runs
+// on each GPU generation, how the job scales with gang size, and how
+// expensive it is to checkpoint. Profiles are shared (one per model in
+// the zoo) and must be treated as immutable.
+type Perf struct {
+	Model string
+
+	// RatePerGPU is minibatches/second when running on a single GPU
+	// of each generation. A zero entry means the model cannot run on
+	// that generation at all.
+	RatePerGPU [gpu.NumGenerations]float64
+
+	// ScalingEff is the per-GPU efficiency when the gang grows: a
+	// gang of n GPUs achieves n·eff(n) single-GPU throughput where
+	// eff(1)=1 and eff(n)=ScalingEff for n>1 (synchronous SGD loses a
+	// roughly constant fraction to all-reduce). Must be in (0, 1].
+	ScalingEff float64
+
+	// MemGBPerGPU is device memory needed per GPU; the job only fits
+	// on generations with at least this much memory.
+	MemGBPerGPU float64
+
+	// CheckpointMB is the serialized checkpoint size, which drives
+	// migration cost.
+	CheckpointMB float64
+}
+
+// Validate reports whether the profile is internally consistent.
+func (p *Perf) Validate() error {
+	if p.Model == "" {
+		return fmt.Errorf("job: perf with empty model name")
+	}
+	if p.ScalingEff <= 0 || p.ScalingEff > 1 {
+		return fmt.Errorf("job: %s: ScalingEff %v outside (0,1]", p.Model, p.ScalingEff)
+	}
+	any := false
+	for _, r := range p.RatePerGPU {
+		if r < 0 {
+			return fmt.Errorf("job: %s: negative rate", p.Model)
+		}
+		if r > 0 {
+			any = true
+		}
+	}
+	if !any {
+		return fmt.Errorf("job: %s: runs on no generation", p.Model)
+	}
+	if p.MemGBPerGPU < 0 || p.CheckpointMB < 0 {
+		return fmt.Errorf("job: %s: negative memory or checkpoint size", p.Model)
+	}
+	return nil
+}
+
+// FitsOn reports whether the model can run on generation g (nonzero
+// rate and enough device memory).
+func (p *Perf) FitsOn(g gpu.Generation) bool {
+	return g.Valid() && p.RatePerGPU[g] > 0 && p.MemGBPerGPU <= g.MemGB()
+}
+
+// Speedup returns the per-GPU throughput ratio of generation fast over
+// generation slow — the marginal utility the trading mechanism
+// arbitrages. Returns 0 if the model does not run on either.
+func (p *Perf) Speedup(fast, slow gpu.Generation) float64 {
+	if !p.FitsOn(fast) || !p.FitsOn(slow) {
+		return 0
+	}
+	return p.RatePerGPU[fast] / p.RatePerGPU[slow]
+}
+
+// GangEff returns the scaling efficiency for a gang of n GPUs.
+func (p *Perf) GangEff(n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	return p.ScalingEff
+}
+
+// State is a job's lifecycle state.
+type State int
+
+const (
+	// Runnable: arrived and waiting for (more) GPU time.
+	Runnable State = iota
+	// Running: currently assigned GPUs for the ongoing quantum.
+	Running
+	// Done: training complete.
+	Done
+)
+
+func (s State) String() string {
+	switch s {
+	case Runnable:
+		return "runnable"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Spec is the immutable description of a job at submission time.
+type Spec struct {
+	ID      ID
+	User    UserID
+	Perf    *Perf
+	Gang    int     // number of GPUs required, all-or-nothing
+	TotalMB float64 // minibatches to completion
+	Arrival simclock.Time
+}
+
+// Validate checks the spec.
+func (s *Spec) Validate() error {
+	if s.User == "" {
+		return fmt.Errorf("job %d: empty user", s.ID)
+	}
+	if s.Perf == nil {
+		return fmt.Errorf("job %d: nil perf profile", s.ID)
+	}
+	if err := s.Perf.Validate(); err != nil {
+		return fmt.Errorf("job %d: %w", s.ID, err)
+	}
+	if s.Gang <= 0 {
+		return fmt.Errorf("job %d: gang %d must be positive", s.ID, s.Gang)
+	}
+	if s.TotalMB <= 0 {
+		return fmt.Errorf("job %d: total minibatches %v must be positive", s.ID, s.TotalMB)
+	}
+	if s.Arrival < 0 {
+		return fmt.Errorf("job %d: negative arrival", s.ID)
+	}
+	return nil
+}
+
+// Job is the mutable runtime record of one DLT job. It is owned by the
+// simulation core; all mutation happens on the single simulation
+// goroutine.
+type Job struct {
+	Spec
+
+	state  State
+	doneMB float64
+	finish simclock.Time
+
+	// Accounting.
+	gpuSecs    [gpu.NumGenerations]float64 // gang-GPU-seconds of useful service per generation
+	overheadS  float64                     // seconds of occupied-but-useless time (resume, migration)
+	migrations int
+	preempts   int
+	lastRan    bool // ran in previous quantum (for resume-overhead modeling)
+	firstRun   simclock.Time
+	everRan    bool
+}
+
+// New constructs a runtime job from a validated spec.
+func New(spec Spec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Job{Spec: spec, state: Runnable}, nil
+}
+
+// MustNew is New but panics on invalid specs; for tests and fixtures.
+func MustNew(spec Spec) *Job {
+	j, err := New(spec)
+	if err != nil {
+		panic(err)
+	}
+	return j
+}
+
+// State returns the lifecycle state.
+func (j *Job) State() State { return j.state }
+
+// SetRunning transitions between Runnable and Running; the core calls
+// this at quantum boundaries. Transitioning a Done job panics.
+func (j *Job) SetRunning(running bool) {
+	if j.state == Done {
+		panic(fmt.Sprintf("job %d: SetRunning on done job", j.ID))
+	}
+	if running {
+		j.state = Running
+	} else {
+		if j.state == Running {
+			j.preempts++
+		}
+		j.state = Runnable
+	}
+}
+
+// NoteFirstRun records when the job first received GPUs; only the
+// first call has any effect.
+func (j *Job) NoteFirstRun(at simclock.Time) {
+	if !j.everRan {
+		j.everRan = true
+		j.firstRun = at
+	}
+}
+
+// QueueDelay returns the time the job waited from arrival to its
+// first quantum; ok is false if it never ran.
+func (j *Job) QueueDelay() (simclock.Duration, bool) {
+	if !j.everRan {
+		return 0, false
+	}
+	return j.firstRun.Sub(j.Arrival), true
+}
+
+// RanLastQuantum reports whether the job held GPUs in the previous
+// quantum; the core uses it to decide whether resume overhead applies.
+func (j *Job) RanLastQuantum() bool { return j.lastRan }
+
+// NoteQuantum records whether the job ran this quantum, for the next
+// round's overhead decision.
+func (j *Job) NoteQuantum(ran bool) { j.lastRan = ran }
+
+// GangRate returns the whole-gang minibatch rate on generation g.
+func (j *Job) GangRate(g gpu.Generation) float64 {
+	if !j.Perf.FitsOn(g) {
+		return 0
+	}
+	return j.Perf.RatePerGPU[g] * float64(j.Gang) * j.Perf.GangEff(j.Gang)
+}
+
+// Advance runs the gang on generation g for up to dur seconds of
+// useful compute. It returns the duration actually consumed (less than
+// dur only when the job completes mid-quantum) and whether the job
+// finished. now is the virtual time at the start of the useful period,
+// used to stamp the finish time. Calling Advance on a generation the
+// job does not fit panics: the placement layer must never do that.
+func (j *Job) Advance(g gpu.Generation, dur simclock.Duration, now simclock.Time) (used simclock.Duration, finished bool) {
+	if j.state == Done {
+		panic(fmt.Sprintf("job %d: Advance on done job", j.ID))
+	}
+	if dur < 0 {
+		panic(fmt.Sprintf("job %d: negative duration %v", j.ID, dur))
+	}
+	rate := j.GangRate(g)
+	if rate <= 0 {
+		panic(fmt.Sprintf("job %d (%s): advanced on unusable generation %v", j.ID, j.Perf.Model, g))
+	}
+	need := (j.TotalMB - j.doneMB) / rate
+	used = dur
+	if need <= dur {
+		used = need
+		finished = true
+	}
+	j.doneMB += rate * used
+	j.gpuSecs[g] += float64(j.Gang) * used
+	if finished {
+		j.doneMB = j.TotalMB
+		j.state = Done
+		j.finish = now.Add(used)
+	}
+	return used, finished
+}
+
+// ApplyReport overwrites progress from a remote agent's round report
+// (the distributed mode, where execution happens on server agents and
+// the central scheduler's job records mirror their reports). Progress
+// must be monotone and within TotalMB; violations panic because they
+// mean a corrupted or replayed report.
+func (j *Job) ApplyReport(doneMB float64, g gpu.Generation, gpuSecs float64, finished bool, at simclock.Time) {
+	if j.state == Done {
+		panic(fmt.Sprintf("job %d: ApplyReport on done job", j.ID))
+	}
+	if doneMB < j.doneMB-1e-6 || doneMB > j.TotalMB+1e-6 {
+		panic(fmt.Sprintf("job %d: report done %v outside [%v, %v]", j.ID, doneMB, j.doneMB, j.TotalMB))
+	}
+	if gpuSecs < 0 {
+		panic(fmt.Sprintf("job %d: negative reported service", j.ID))
+	}
+	j.doneMB = math.Min(doneMB, j.TotalMB)
+	if g.Valid() {
+		j.gpuSecs[g] += gpuSecs
+	}
+	if finished {
+		j.doneMB = j.TotalMB
+		j.state = Done
+		j.finish = at
+	}
+}
+
+// AddOverhead charges d seconds of occupied-but-useless GPU time
+// (suspend/resume or migration restore). The GPUs are held but no
+// minibatches complete.
+func (j *Job) AddOverhead(d simclock.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("job %d: negative overhead", j.ID))
+	}
+	j.overheadS += d
+}
+
+// NoteMigration counts one migration of this job.
+func (j *Job) NoteMigration() { j.migrations++ }
+
+// DoneMB returns minibatches completed so far.
+func (j *Job) DoneMB() float64 { return j.doneMB }
+
+// Progress returns completion fraction in [0, 1].
+func (j *Job) Progress() float64 { return j.doneMB / j.TotalMB }
+
+// Finished reports completion.
+func (j *Job) Finished() bool { return j.state == Done }
+
+// FinishTime returns when the job completed; calling it on an
+// unfinished job panics.
+func (j *Job) FinishTime() simclock.Time {
+	if j.state != Done {
+		panic(fmt.Sprintf("job %d: FinishTime before completion", j.ID))
+	}
+	return j.finish
+}
+
+// JCT returns the job completion time (finish − arrival).
+func (j *Job) JCT() simclock.Duration {
+	return j.FinishTime().Sub(j.Arrival)
+}
+
+// StandaloneTime returns the job's total runtime if run without
+// interruption on generation g from the start; +Inf if it cannot run
+// there. This is the physics lower bound on its completion time.
+func (j *Job) StandaloneTime(g gpu.Generation) simclock.Duration {
+	rate := j.GangRate(g)
+	if rate <= 0 {
+		return simclock.Duration(simclock.Forever)
+	}
+	return j.TotalMB / rate
+}
+
+// RemainingTime estimates seconds to completion at full gang speed on
+// generation g; +Inf if the job cannot run there.
+func (j *Job) RemainingTime(g gpu.Generation) simclock.Duration {
+	rate := j.GangRate(g)
+	if rate <= 0 {
+		return simclock.Duration(simclock.Forever)
+	}
+	return (j.TotalMB - j.doneMB) / rate
+}
+
+// AttainedService returns total useful gang-GPU-seconds across all
+// generations (the quantity Tiresias prioritizes by).
+func (j *Job) AttainedService() float64 {
+	var s float64
+	for _, v := range j.gpuSecs {
+		s += v
+	}
+	return s
+}
+
+// GPUSeconds returns useful gang-GPU-seconds on one generation.
+func (j *Job) GPUSeconds(g gpu.Generation) float64 {
+	if !g.Valid() {
+		return 0
+	}
+	return j.gpuSecs[g]
+}
+
+// OverheadSeconds returns accumulated overhead (resume+migration).
+func (j *Job) OverheadSeconds() float64 { return j.overheadS }
+
+// Migrations returns how many times the job was migrated.
+func (j *Job) Migrations() int { return j.migrations }
+
+// Preemptions returns how many times the job was suspended after
+// running.
+func (j *Job) Preemptions() int { return j.preempts }
+
+func (j *Job) String() string {
+	return fmt.Sprintf("job %d[user=%s model=%s gang=%d %.0f%% %v]",
+		j.ID, j.User, j.Perf.Model, j.Gang, 100*j.Progress(), j.state)
+}

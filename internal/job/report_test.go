@@ -1,0 +1,87 @@
+package job
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/simclock"
+)
+
+func TestApplyReportProgress(t *testing.T) {
+	j := MustNew(specFixture(perfFixture()))
+	j.ApplyReport(300, gpu.K80, 150, false, 100)
+	if j.DoneMB() != 300 {
+		t.Fatalf("DoneMB = %v", j.DoneMB())
+	}
+	if j.GPUSeconds(gpu.K80) != 150 {
+		t.Fatalf("GPUSeconds = %v", j.GPUSeconds(gpu.K80))
+	}
+	if j.Finished() {
+		t.Fatal("finished prematurely")
+	}
+	j.ApplyReport(1000, gpu.V100, 200, true, 500)
+	if !j.Finished() || j.FinishTime() != 500 {
+		t.Fatalf("finish state: %v at %v", j.Finished(), j.FinishTime())
+	}
+	if j.GPUSeconds(gpu.V100) != 200 {
+		t.Fatalf("V100 seconds = %v", j.GPUSeconds(gpu.V100))
+	}
+}
+
+func TestApplyReportClampsAtTotal(t *testing.T) {
+	j := MustNew(specFixture(perfFixture()))
+	// A report within float slack of TotalMB is accepted and clamped.
+	j.ApplyReport(j.TotalMB+1e-7, gpu.K80, 10, false, 50)
+	if j.DoneMB() != j.TotalMB {
+		t.Fatalf("DoneMB = %v, want clamped to %v", j.DoneMB(), j.TotalMB)
+	}
+}
+
+func TestApplyReportPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	j := MustNew(specFixture(perfFixture()))
+	j.ApplyReport(500, gpu.K80, 10, false, 50)
+	mustPanic("regression", func() { j.ApplyReport(100, gpu.K80, 10, false, 60) })
+	mustPanic("overflow", func() { j.ApplyReport(5000, gpu.K80, 10, false, 60) })
+	mustPanic("negative service", func() { j.ApplyReport(600, gpu.K80, -1, false, 60) })
+	j.ApplyReport(1000, gpu.K80, 10, true, 70)
+	mustPanic("after done", func() { j.ApplyReport(1000, gpu.K80, 10, true, 80) })
+}
+
+func TestApplyReportInvalidGenIgnoredForAccounting(t *testing.T) {
+	j := MustNew(specFixture(perfFixture()))
+	j.ApplyReport(100, gpu.Generation(77), 40, false, 10)
+	if j.DoneMB() != 100 {
+		t.Fatalf("progress not applied: %v", j.DoneMB())
+	}
+	if j.AttainedService() != 0 {
+		t.Fatalf("service booked against invalid generation: %v", j.AttainedService())
+	}
+}
+
+func TestStandaloneTime(t *testing.T) {
+	j := MustNew(specFixture(perfFixture())) // total 1000, K80 gang rate 1.8
+	if got := j.StandaloneTime(gpu.K80); math.Abs(got-1000/1.8) > 1e-9 {
+		t.Fatalf("StandaloneTime = %v", got)
+	}
+	p := perfFixture()
+	p.RatePerGPU[gpu.P40] = 0
+	j2 := MustNew(Spec{ID: 5, User: "u", Perf: p, Gang: 1, TotalMB: 10})
+	if got := j2.StandaloneTime(gpu.P40); got != simclock.Duration(simclock.Forever) {
+		t.Fatalf("unusable generation StandaloneTime = %v", got)
+	}
+	// StandaloneTime ignores progress (it is the from-zero bound).
+	j.Advance(gpu.K80, 100, 0)
+	if got := j.StandaloneTime(gpu.K80); math.Abs(got-1000/1.8) > 1e-9 {
+		t.Fatalf("StandaloneTime changed with progress: %v", got)
+	}
+}

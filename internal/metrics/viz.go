@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/job"
+	"repro/internal/simclock"
+)
+
+// RenderTimeline writes the share-over-time figure as stacked ASCII
+// bars, one row per window: each user owns a letter, idle capacity
+// (when capacityGPUs > 0) shows as '·'.
+//
+//	[ 0h– 3h) aaaaaaaaaabbbbbbbbbb····  a:42% b:41%
+//
+// users determines both the letters (a, b, c, … in order) and the
+// legend; width is the bar width in characters (0 means 40).
+func RenderTimeline(w io.Writer, tl *Timeline, users []job.UserID, width int, capacityGPUs int) error {
+	if width <= 0 {
+		width = 40
+	}
+	letters := make(map[job.UserID]byte, len(users))
+	for i, u := range users {
+		letters[u] = byte('a' + i%26)
+	}
+
+	var b strings.Builder
+	b.WriteString("legend:")
+	for _, u := range users {
+		fmt.Fprintf(&b, " %c=%s", letters[u], u)
+	}
+	b.WriteString("\n")
+
+	for _, win := range tl.Windows() {
+		capGPUSecs := float64(capacityGPUs) * win.End.Sub(win.Start)
+		var total float64
+		for _, v := range win.ByUser {
+			total += v
+		}
+		denom := total
+		if capacityGPUs > 0 {
+			denom = capGPUSecs
+		}
+		fmt.Fprintf(&b, "[%4s–%4s) ", shortTime(win.Start), shortTime(win.End))
+		used := 0
+		if denom > 0 {
+			for _, u := range users {
+				n := int(win.ByUser[u] / denom * float64(width))
+				b.WriteString(strings.Repeat(string(letters[u]), n))
+				used += n
+			}
+		}
+		if used < width {
+			b.WriteString(strings.Repeat("·", width-used))
+		}
+		if total > 0 {
+			fr := ShareFractions(win.ByUser)
+			for _, u := range users {
+				if fr[u] > 0.005 {
+					fmt.Fprintf(&b, " %c:%.0f%%", letters[u], 100*fr[u])
+				}
+			}
+		} else {
+			b.WriteString(" idle")
+		}
+		b.WriteString("\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func shortTime(t simclock.Time) string {
+	h := float64(t) / 3600
+	if h == float64(int(h)) {
+		return fmt.Sprintf("%dh", int(h))
+	}
+	return fmt.Sprintf("%.1fh", h)
+}

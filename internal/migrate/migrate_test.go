@@ -1,0 +1,110 @@
+package migrate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/simclock"
+	"repro/internal/workload"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default model invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	bad := []CostModel{
+		{ResumeSecs: -1, MigrateBaseSecs: 1, CheckpointMBps: 1, CrossServerEff: 1},
+		{ResumeSecs: 1, MigrateBaseSecs: -1, CheckpointMBps: 1, CrossServerEff: 1},
+		{ResumeSecs: 1, MigrateBaseSecs: 1, CheckpointMBps: 0, CrossServerEff: 1},
+		{ResumeSecs: 1, MigrateBaseSecs: 1, CheckpointMBps: 1, CrossServerEff: 0},
+		{ResumeSecs: 1, MigrateBaseSecs: 1, CheckpointMBps: 1, CrossServerEff: 1.1},
+	}
+	for i, m := range bad {
+		if m.Validate() == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+}
+
+func TestMigrationCostScalesWithCheckpoint(t *testing.T) {
+	m := Default()
+	z := workload.DefaultZoo()
+	small := m.MigrationCost(z.MustGet("vae"))         // 15 MB
+	large := m.MigrationCost(z.MustGet("transformer")) // 480 MB
+	if small >= large {
+		t.Fatalf("vae cost %v ≥ transformer cost %v", small, large)
+	}
+	if math.Abs(small-(15+15.0/10)) > 1e-9 {
+		t.Errorf("vae cost %v, want 16.5", small)
+	}
+	if math.Abs(large-(15+480.0/10)) > 1e-9 {
+		t.Errorf("transformer cost %v, want 63", large)
+	}
+}
+
+func TestResumeCheaperThanMigration(t *testing.T) {
+	m := Default()
+	z := workload.DefaultZoo()
+	for _, p := range z.Models() {
+		if m.ResumeCost() >= m.MigrationCost(p) {
+			t.Errorf("%s: resume %v not cheaper than migration %v",
+				p.Model, m.ResumeCost(), m.MigrationCost(p))
+		}
+	}
+}
+
+func TestSpanPenalty(t *testing.T) {
+	m := Default()
+	if p := m.SpanPenalty(1); p != 1 {
+		t.Errorf("SpanPenalty(1) = %v", p)
+	}
+	if p := m.SpanPenalty(0); p != 1 {
+		t.Errorf("SpanPenalty(0) = %v", p)
+	}
+	if p := m.SpanPenalty(2); math.Abs(p-0.92) > 1e-12 {
+		t.Errorf("SpanPenalty(2) = %v, want 0.92", p)
+	}
+	if p := m.SpanPenalty(3); math.Abs(p-0.92*0.92) > 1e-12 {
+		t.Errorf("SpanPenalty(3) = %v", p)
+	}
+	none := m
+	none.CrossServerEff = 1
+	if p := none.SpanPenalty(5); p != 1 {
+		t.Errorf("disabled penalty = %v", p)
+	}
+}
+
+func TestOverheadFraction(t *testing.T) {
+	if f := OverheadFraction(6, simclock.Minute); math.Abs(f-0.1) > 1e-12 {
+		t.Errorf("OverheadFraction(6, 60) = %v, want 0.1", f)
+	}
+	if f := OverheadFraction(120, simclock.Minute); f != 1 {
+		t.Errorf("cost > quantum → %v, want 1", f)
+	}
+	if f := OverheadFraction(5, 0); f != 1 {
+		t.Errorf("zero quantum → %v, want 1", f)
+	}
+}
+
+func TestAmortizationAtMinuteQuanta(t *testing.T) {
+	// The paper's claim: at minute-scale quanta, suspend/resume
+	// overhead is a few percent. With a 60 s quantum and 3 s resume,
+	// a job resumed every single quantum loses 5%; at the default
+	// 6-minute quantum it loses under 1%.
+	m := Default()
+	if f := OverheadFraction(m.ResumeCost(), 6*simclock.Minute); f > 0.01 {
+		t.Errorf("resume overhead at 6-min quantum = %v, want ≤1%%", f)
+	}
+	z := workload.DefaultZoo()
+	worst := 0.0
+	for _, p := range z.Models() {
+		f := OverheadFraction(m.MigrationCost(p), 30*simclock.Minute)
+		worst = math.Max(worst, f)
+	}
+	if worst > 0.04 {
+		t.Errorf("worst migration overhead per 30-min window = %v, want ≤4%%", worst)
+	}
+}

@@ -1,0 +1,269 @@
+package simclock
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyClock(t *testing.T) {
+	c := New()
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %v, want 0", c.Now())
+	}
+	if c.Step() {
+		t.Fatal("Step on empty clock returned true")
+	}
+	if got := c.NextEventTime(); got != Forever {
+		t.Fatalf("NextEventTime = %v, want Forever", got)
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	c := New()
+	var order []int
+	c.At(10, func() { order = append(order, 2) })
+	c.At(5, func() { order = append(order, 1) })
+	c.At(20, func() { order = append(order, 3) })
+	c.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if c.Now() != 20 {
+		t.Fatalf("final time %v, want 20", c.Now())
+	}
+}
+
+func TestTieBreakByInsertion(t *testing.T) {
+	c := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.At(7, func() { order = append(order, i) })
+	}
+	c.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("ties not in insertion order: %v", order)
+		}
+	}
+}
+
+func TestAfter(t *testing.T) {
+	c := New()
+	var at Time
+	c.After(30, func() {
+		at = c.Now()
+		c.After(15, func() { at = c.Now() })
+	})
+	c.Run()
+	if at != 45 {
+		t.Fatalf("nested After fired at %v, want 45", at)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	c := New()
+	c.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		c.At(5, func() {})
+	})
+	c.Run()
+}
+
+func TestNilFuncPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil event func did not panic")
+		}
+	}()
+	New().At(1, nil)
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After did not panic")
+		}
+	}()
+	New().After(-1, func() {})
+}
+
+func TestCancel(t *testing.T) {
+	c := New()
+	fired := false
+	e := c.At(10, func() { fired = true })
+	c.Cancel(e)
+	c.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+	// Double cancel and cancel-nil must not panic.
+	c.Cancel(e)
+	c.Cancel(nil)
+}
+
+func TestCancelDuringRun(t *testing.T) {
+	c := New()
+	fired := false
+	var e *Event
+	e = c.At(20, func() { fired = true })
+	c.At(10, func() { c.Cancel(e) })
+	c.Run()
+	if fired {
+		t.Fatal("event cancelled by an earlier event still fired")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	c := New()
+	var fired []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		c.At(at, func() { fired = append(fired, at) })
+	}
+	c.RunUntil(15)
+	if len(fired) != 3 {
+		t.Fatalf("fired %v, want events at 5,10,15", fired)
+	}
+	if c.Now() != 15 {
+		t.Fatalf("Now = %v, want 15", c.Now())
+	}
+	c.RunUntil(100)
+	if len(fired) != 4 {
+		t.Fatalf("fired %v, want 4 events", fired)
+	}
+	if c.Now() != 100 {
+		t.Fatalf("Now = %v, want 100 (advance past last event)", c.Now())
+	}
+}
+
+func TestRunUntilBeforeFirstEvent(t *testing.T) {
+	c := New()
+	fired := false
+	c.At(50, func() { fired = true })
+	c.RunUntil(10)
+	if fired {
+		t.Fatal("event beyond horizon fired")
+	}
+	if c.Now() != 10 {
+		t.Fatalf("Now = %v, want 10", c.Now())
+	}
+	if c.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", c.Pending())
+	}
+}
+
+func TestEventSchedulingDuringEvent(t *testing.T) {
+	c := New()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			c.After(10, tick)
+		}
+	}
+	c.After(10, tick)
+	c.Run()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if c.Now() != 50 {
+		t.Fatalf("Now = %v, want 50", c.Now())
+	}
+	if c.Executed() != 5 {
+		t.Fatalf("Executed = %d, want 5", c.Executed())
+	}
+}
+
+// Property: for any set of scheduled times, events fire in sorted order
+// and the clock never moves backwards.
+func TestPropertyOrdering(t *testing.T) {
+	f := func(raw []uint16) bool {
+		c := New()
+		times := make([]Time, len(raw))
+		var fired []Time
+		for i, r := range raw {
+			at := Time(r)
+			times[i] = at
+			c.At(at, func() { fired = append(fired, c.Now()) })
+		}
+		c.Run()
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		if len(fired) != len(times) {
+			return false
+		}
+		for i := range times {
+			if fired[i] != times[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a random subset leaves exactly the complement to
+// fire, still in order.
+func TestPropertyCancelSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		c := New()
+		n := 1 + rng.Intn(100)
+		events := make([]*Event, n)
+		firedCount := 0
+		var last Time = -1
+		for i := 0; i < n; i++ {
+			at := Time(rng.Intn(1000))
+			events[i] = c.At(at, func() {
+				if c.Now() < last {
+					t.Fatal("clock moved backwards")
+				}
+				last = c.Now()
+				firedCount++
+			})
+		}
+		cancelled := 0
+		for _, e := range events {
+			if rng.Intn(2) == 0 {
+				c.Cancel(e)
+				cancelled++
+			}
+		}
+		c.Run()
+		if firedCount != n-cancelled {
+			t.Fatalf("fired %d, want %d", firedCount, n-cancelled)
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	got := Time(3723.5).String()
+	if got != "1h02m03.5s" {
+		t.Fatalf("String = %q, want 1h02m03.5s", got)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	tm := Time(100).Add(50)
+	if tm != 150 {
+		t.Fatalf("Add = %v", tm)
+	}
+	if d := Time(150).Sub(100); d != 50 {
+		t.Fatalf("Sub = %v", d)
+	}
+}

@@ -1,0 +1,151 @@
+package stride
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/job"
+)
+
+// runClassed drives rounds and accumulates GPU-rounds per job.
+func runClassed(s *Classed, cands []Candidate, capacity, rounds int) (acc map[job.ID]float64, used float64) {
+	acc = make(map[job.ID]float64)
+	gang := make(map[job.ID]int)
+	tick := make(map[job.ID]float64)
+	for _, c := range cands {
+		gang[c.ID] = c.Gang
+		tick[c.ID] = c.Tickets
+	}
+	for r := 0; r < rounds; r++ {
+		for _, id := range s.Select(cands, capacity) {
+			res := float64(gang[id])
+			acc[id] += res
+			used += res
+			s.Charge(id, res*60, tick[id])
+		}
+	}
+	return acc, used
+}
+
+func TestClassedMixedGangFairnessAndUtilization(t *testing.T) {
+	// The scenario where plain greedy pass-order selection tops out
+	// around 74% utilization with a skewed big-job share (see E4):
+	// classed budgets must hold both near the ideal.
+	cands := []Candidate{
+		{ID: 1, Gang: 8, Tickets: 1},
+		{ID: 2, Gang: 4, Tickets: 1},
+		{ID: 3, Gang: 2, Tickets: 1},
+		{ID: 4, Gang: 1, Tickets: 1},
+		{ID: 5, Gang: 1, Tickets: 1},
+		{ID: 6, Gang: 1, Tickets: 1},
+	}
+	s := NewClassed()
+	acc, used := runClassed(s, cands, 8, 20000)
+	// ~86% is the packing ceiling here once fairness binds: in rounds
+	// where neither the 8- nor the 4-gang's budget is ready, the
+	// singles+pair only cover 5 of 8 GPUs. Greedy gets 74%, naive 60%.
+	util := used / (20000 * 8)
+	if util < 0.84 {
+		t.Errorf("classed utilization %v, want ≥0.84", util)
+	}
+	var total float64
+	for _, v := range acc {
+		total += v
+	}
+	// Water-filled entitlements on 8 GPUs with demands (8,4,2,1,1,1)
+	// and equal tickets: singles cap at 1 each; remainder splits
+	// among 8/4/2... classes of equal tickets → big job well above
+	// the ~15% greedy gives it.
+	bigShare := acc[1] / total
+	if bigShare < 0.2 {
+		t.Errorf("8-GPU job share %v, want ≥0.2 under classed budgets", bigShare)
+	}
+}
+
+func TestClassedSingleClassMatchesGreedy(t *testing.T) {
+	// All jobs 1-GPU: classed degenerates to plain stride fairness.
+	cands := []Candidate{
+		{ID: 1, Gang: 1, Tickets: 1},
+		{ID: 2, Gang: 1, Tickets: 2},
+		{ID: 3, Gang: 1, Tickets: 3},
+	}
+	s := NewClassed()
+	acc, _ := runClassed(s, cands, 2, 9000)
+	total := acc[1] + acc[2] + acc[3]
+	wants := map[job.ID]float64{1: 1.0 / 6, 2: 2.0 / 6, 3: 3.0 / 6}
+	for id, want := range wants {
+		if got := acc[id] / total; math.Abs(got-want) > 0.02 {
+			t.Errorf("job %d share %v, want %v", id, got, want)
+		}
+	}
+}
+
+func TestClassedEdgeCases(t *testing.T) {
+	s := NewClassed()
+	if got := s.Select(nil, 8); got != nil {
+		t.Errorf("Select(nil) = %v", got)
+	}
+	if got := s.Select([]Candidate{{ID: 1, Gang: 1, Tickets: 1}}, 0); got != nil {
+		t.Errorf("zero capacity = %v", got)
+	}
+	if got := s.Select([]Candidate{{ID: 1, Gang: 0, Tickets: 1}, {ID: 2, Gang: 1, Tickets: 0}}, 4); got != nil {
+		t.Errorf("all-invalid candidates = %v", got)
+	}
+	s.Remove(99) // no-op
+}
+
+func TestClassedCarryPersistsForBigGangs(t *testing.T) {
+	// A 4-gang sharing 4 GPUs with four 1-GPU jobs, equal tickets:
+	// class budgets are 2/2, so the big job runs every other round via
+	// carry accumulation.
+	cands := []Candidate{{ID: 10, Gang: 4, Tickets: 4}}
+	for i := 1; i <= 4; i++ {
+		cands = append(cands, Candidate{ID: job.ID(i), Gang: 1, Tickets: 1})
+	}
+	s := NewClassed()
+	acc, used := runClassed(s, cands, 4, 10000)
+	var total float64
+	for _, v := range acc {
+		total += v
+	}
+	if got := acc[10] / total; math.Abs(got-0.5) > 0.03 {
+		t.Errorf("big job share %v, want ≈0.5 (tickets 4 of 8)", got)
+	}
+	if util := used / (10000 * 4); util < 0.95 {
+		t.Errorf("utilization %v", util)
+	}
+}
+
+func TestClassedNoSelectionDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		s := NewClassed()
+		n := 1 + rng.Intn(10)
+		cands := make([]Candidate, n)
+		for i := range cands {
+			cands[i] = Candidate{ID: job.ID(i + 1), Gang: 1 << rng.Intn(4), Tickets: 1 + float64(rng.Intn(3))}
+		}
+		capacity := 1 + rng.Intn(16)
+		for round := 0; round < 5; round++ {
+			sel := s.Select(cands, capacity)
+			seen := map[job.ID]bool{}
+			usedGPUs := 0
+			for _, id := range sel {
+				if seen[id] {
+					t.Fatalf("trial %d: duplicate selection of %d", trial, id)
+				}
+				seen[id] = true
+				for _, c := range cands {
+					if c.ID == id {
+						usedGPUs += c.Gang
+						s.Charge(id, float64(c.Gang)*60, c.Tickets)
+					}
+				}
+			}
+			if usedGPUs > capacity {
+				t.Fatalf("trial %d: selected %d GPUs into %d", trial, usedGPUs, capacity)
+			}
+		}
+	}
+}

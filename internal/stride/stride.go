@@ -1,0 +1,227 @@
+// Package stride implements gang-aware stride scheduling, the
+// proportional-share core of Gandiva_fair.
+//
+// Classic stride scheduling keeps a pass value per client and always
+// runs the client with the minimum pass, advancing it by
+// stride = constant/tickets per quantum received. Gandiva_fair
+// extends this to DLT gangs: a job needs all of its GPUs at once, and
+// a round schedules many jobs onto a pool of GPUs simultaneously.
+//
+// Gang awareness here means two things:
+//
+//  1. Selection considers jobs in pass order but *skips* a job whose
+//     gang does not fit in the remaining capacity, continuing with
+//     smaller jobs (no head-of-line blocking, so the pool stays
+//     utilized). A skipped job's pass does not advance, so it drifts
+//     to the minimum and is eventually scheduled first, when the whole
+//     pool is still free — big gangs cannot starve.
+//  2. Pass advances by resources actually consumed (gang × seconds)
+//     divided by tickets, so a 8-GPU job is charged 8× a 1-GPU job
+//     per second and long-run GPU-time converges to ticket proportion
+//     regardless of gang sizes.
+//
+// The ablation mode NaiveBlocking implements strict stride semantics
+// (stop filling the pool when the minimum-pass job does not fit),
+// which the E4 ablation shows wastes capacity.
+package stride
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/job"
+)
+
+// Mode selects the selection discipline.
+type Mode int
+
+const (
+	// GangAware skips jobs that do not fit and keeps filling (the
+	// paper's scheduler).
+	GangAware Mode = iota
+	// NaiveBlocking stops at the first job that does not fit (strict
+	// stride order; ablation baseline).
+	NaiveBlocking
+)
+
+func (m Mode) String() string {
+	switch m {
+	case GangAware:
+		return "gang-aware"
+	case NaiveBlocking:
+		return "naive-blocking"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Candidate is one runnable job presented to a selection round.
+type Candidate struct {
+	ID      job.ID
+	Gang    int     // GPUs needed, all-or-nothing
+	Tickets float64 // share weight for this job (user tickets / user's job count)
+}
+
+// Scheduler holds per-job pass state across rounds. It is not safe
+// for concurrent use; the simulation core drives it from one
+// goroutine.
+type Scheduler struct {
+	mode Mode
+	pass map[job.ID]float64
+}
+
+// New returns an empty scheduler in the given mode.
+func New(mode Mode) *Scheduler {
+	return &Scheduler{mode: mode, pass: make(map[job.ID]float64)}
+}
+
+// Mode returns the selection discipline.
+func (s *Scheduler) Mode() Mode { return s.mode }
+
+// Pass returns a job's current pass value (0 for unknown jobs).
+func (s *Scheduler) Pass(id job.ID) float64 { return s.pass[id] }
+
+// Has reports whether the scheduler tracks the job.
+func (s *Scheduler) Has(id job.ID) bool {
+	_, ok := s.pass[id]
+	return ok
+}
+
+// Len returns the number of tracked jobs.
+func (s *Scheduler) Len() int { return len(s.pass) }
+
+// Select chooses the jobs to run for one round on a pool of capacity
+// identical GPUs. Jobs are considered in increasing pass order (ties:
+// larger gang first, then lower ID, so rounds are deterministic).
+// Newly seen candidates join at the current minimum pass among the
+// candidate set, the standard stride join rule that prevents a new
+// job from either monopolizing the pool or being starved.
+//
+// Select does not advance pass values — call Charge with the
+// resources each selected job actually consumed. The returned slice
+// lists selected IDs in placement-priority order (big gangs first).
+func (s *Scheduler) Select(cands []Candidate, capacity int) []job.ID {
+	if capacity <= 0 || len(cands) == 0 {
+		return nil
+	}
+	order := s.Order(cands)
+	gangOf := make(map[job.ID]int, len(cands))
+	for _, c := range cands {
+		gangOf[c.ID] = c.Gang
+	}
+
+	var selected []job.ID
+	remaining := capacity
+	for _, id := range order {
+		if remaining == 0 {
+			break
+		}
+		if gangOf[id] > remaining {
+			if s.mode == NaiveBlocking {
+				break
+			}
+			continue
+		}
+		selected = append(selected, id)
+		remaining -= gangOf[id]
+	}
+	sort.Slice(selected, func(i, j int) bool {
+		gi, gj := gangOf[selected[i]], gangOf[selected[j]]
+		if gi != gj {
+			return gi > gj
+		}
+		return selected[i] < selected[j]
+	})
+	return selected
+}
+
+// Order registers candidates (applying the same join rule as Select)
+// and returns their IDs in scheduling priority order: increasing
+// pass, ties broken by larger gang then lower ID. Callers that need
+// to interleave per-candidate constraints (e.g. per-generation
+// budgets) iterate this order themselves and Charge what ran.
+func (s *Scheduler) Order(cands []Candidate) []job.ID {
+	if len(cands) == 0 {
+		return nil
+	}
+	minPass := 0.0
+	found := false
+	for _, c := range cands {
+		if p, ok := s.pass[c.ID]; ok {
+			if !found || p < minPass {
+				minPass = p
+				found = true
+			}
+		}
+	}
+	for _, c := range cands {
+		if _, ok := s.pass[c.ID]; !ok {
+			s.pass[c.ID] = minPass
+		}
+	}
+	order := make([]Candidate, 0, len(cands))
+	for _, c := range cands {
+		if c.Gang > 0 && c.Tickets > 0 {
+			order = append(order, c)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		pi, pj := s.pass[order[i].ID], s.pass[order[j].ID]
+		if pi != pj {
+			return pi < pj
+		}
+		if order[i].Gang != order[j].Gang {
+			return order[i].Gang > order[j].Gang
+		}
+		return order[i].ID < order[j].ID
+	})
+	ids := make([]job.ID, len(order))
+	for i, c := range order {
+		ids[i] = c.ID
+	}
+	return ids
+}
+
+// Charge advances a job's pass by the resources it consumed this
+// round: gang-GPU-seconds divided by its tickets. Charging an unknown
+// job, non-positive tickets, or negative resources panics — those are
+// core bugs, not runtime conditions.
+func (s *Scheduler) Charge(id job.ID, gpuSeconds, tickets float64) {
+	if _, ok := s.pass[id]; !ok {
+		panic(fmt.Sprintf("stride: Charge for unknown job %d", id))
+	}
+	if tickets <= 0 {
+		panic(fmt.Sprintf("stride: Charge job %d with tickets %v", id, tickets))
+	}
+	if gpuSeconds < 0 {
+		panic(fmt.Sprintf("stride: Charge job %d with negative resources", id))
+	}
+	s.pass[id] += gpuSeconds / tickets
+}
+
+// Remove forgets a job (finished or cancelled). Removing an unknown
+// job is a no-op.
+func (s *Scheduler) Remove(id job.ID) { delete(s.pass, id) }
+
+// Rebase shifts all pass values so the minimum becomes zero,
+// preventing unbounded float growth in very long simulations. Pass
+// ordering (the only thing selection uses) is unchanged.
+func (s *Scheduler) Rebase() {
+	if len(s.pass) == 0 {
+		return
+	}
+	min := 0.0
+	first := true
+	for _, p := range s.pass {
+		if first || p < min {
+			min = p
+			first = false
+		}
+	}
+	if min == 0 {
+		return
+	}
+	for id := range s.pass {
+		s.pass[id] -= min
+	}
+}

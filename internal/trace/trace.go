@@ -1,0 +1,101 @@
+// Package trace records simulation events and exports them as CSV or
+// JSON for offline analysis (the figures in EXPERIMENTS.md are
+// regenerated from these streams).
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/job"
+	"repro/internal/simclock"
+)
+
+// Kind classifies an event.
+type Kind string
+
+// Event kinds emitted by the simulation core.
+const (
+	KindArrival   Kind = "arrival"
+	KindStart     Kind = "start"
+	KindFinish    Kind = "finish"
+	KindMigration Kind = "migration"
+	KindTrade     Kind = "trade"
+	KindRound     Kind = "round"
+	KindFailure   Kind = "failure"
+	KindRecovery  Kind = "recovery"
+)
+
+// Event is one timestamped record.
+type Event struct {
+	At     simclock.Time `json:"at"`
+	Kind   Kind          `json:"kind"`
+	Job    job.ID        `json:"job,omitempty"`
+	User   job.UserID    `json:"user,omitempty"`
+	Detail string        `json:"detail,omitempty"`
+}
+
+// Log is an append-only event stream. Not safe for concurrent use.
+type Log struct {
+	events []Event
+}
+
+// Append adds an event.
+func (l *Log) Append(e Event) { l.events = append(l.events, e) }
+
+// Add is a convenience constructor-append.
+func (l *Log) Add(at simclock.Time, kind Kind, j job.ID, u job.UserID, detail string) {
+	l.Append(Event{At: at, Kind: kind, Job: j, User: u, Detail: detail})
+}
+
+// Events returns the recorded stream. Callers must not mutate.
+func (l *Log) Events() []Event { return l.events }
+
+// Len returns the event count.
+func (l *Log) Len() int { return len(l.events) }
+
+// Filter returns events of one kind.
+func (l *Log) Filter(kind Kind) []Event {
+	var out []Event
+	for _, e := range l.events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WriteCSV emits the stream with a header row.
+func (l *Log) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"at_seconds", "kind", "job", "user", "detail"}); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	for _, e := range l.events {
+		rec := []string{
+			strconv.FormatFloat(float64(e.At), 'f', 3, 64),
+			string(e.Kind),
+			strconv.FormatInt(int64(e.Job), 10),
+			string(e.User),
+			e.Detail,
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON emits the stream as a JSON array.
+func (l *Log) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(l.events); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
+}

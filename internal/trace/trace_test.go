@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/simclock"
+)
+
+func fixture() *Log {
+	l := &Log{}
+	l.Add(0, KindArrival, 1, "alice", "")
+	l.Add(60, KindStart, 1, "alice", "gen=V100")
+	l.Add(120, KindMigration, 1, "alice", "K80->V100")
+	l.Add(3600.5, KindFinish, 1, "alice", "")
+	return l
+}
+
+func TestAppendAndFilter(t *testing.T) {
+	l := fixture()
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	mig := l.Filter(KindMigration)
+	if len(mig) != 1 || mig[0].Detail != "K80->V100" {
+		t.Fatalf("Filter = %+v", mig)
+	}
+	if len(l.Filter(KindTrade)) != 0 {
+		t.Error("Filter invented events")
+	}
+}
+
+func TestWriteCSVRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fixture().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows, want header+4", len(rows))
+	}
+	if rows[0][0] != "at_seconds" {
+		t.Errorf("header = %v", rows[0])
+	}
+	if rows[4][0] != "3600.500" || rows[4][1] != "finish" || rows[4][3] != "alice" {
+		t.Errorf("last row = %v", rows[4])
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fixture().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("decoded %d events", len(events))
+	}
+	if events[1].Kind != KindStart || events[1].Detail != "gen=V100" {
+		t.Errorf("event 1 = %+v", events[1])
+	}
+}
+
+func TestEmptyLog(t *testing.T) {
+	var l Log
+	var buf bytes.Buffer
+	if err := l.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 1 {
+		t.Errorf("empty CSV has %d lines, want header only", got)
+	}
+}
+
+func TestEventKindsComplete(t *testing.T) {
+	kinds := []Kind{
+		KindArrival, KindStart, KindFinish, KindMigration,
+		KindTrade, KindRound, KindFailure, KindRecovery,
+	}
+	l := &Log{}
+	for i, k := range kinds {
+		l.Add(simclock.Time(i), k, 1, "u", "")
+	}
+	for _, k := range kinds {
+		if len(l.Filter(k)) != 1 {
+			t.Errorf("kind %s not round-tripped through Filter", k)
+		}
+	}
+}
+
+func TestEventsAccessor(t *testing.T) {
+	l := fixture()
+	ev := l.Events()
+	if len(ev) != l.Len() {
+		t.Fatalf("Events() returned %d of %d", len(ev), l.Len())
+	}
+	if ev[0].Kind != KindArrival {
+		t.Errorf("first event = %+v", ev[0])
+	}
+}
+
+// failWriter errors after n bytes to exercise writer error paths.
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errWrite
+	}
+	take := len(p)
+	if take > w.n {
+		take = w.n
+	}
+	w.n -= take
+	if take < len(p) {
+		return take, errWrite
+	}
+	return take, nil
+}
+
+var errWrite = errors.New("writer full")
+
+func TestWriteErrorsPropagate(t *testing.T) {
+	l := fixture()
+	if err := l.WriteCSV(&failWriter{n: 10}); err == nil {
+		t.Error("WriteCSV swallowed the writer error")
+	}
+	if err := l.WriteJSON(&failWriter{n: 10}); err == nil {
+		t.Error("WriteJSON swallowed the writer error")
+	}
+}

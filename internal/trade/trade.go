@@ -1,0 +1,334 @@
+// Package trade implements Gandiva_fair's automatic resource trading.
+//
+// After fair-share entitlements are computed (heterogeneity-blind:
+// every user gets a capacity-proportional slice of every GPU
+// generation), trading exploits the fact that the marginal utility of
+// a fast GPU differs across users: a user training compute-dense
+// models gains 4–6× from a V100 over a K80, while a memory-bound
+// user gains barely 1.2×.
+//
+// The mechanism greedily matches the user with the highest profiled
+// speedup (the buyer) against the user with the lowest (the seller):
+// the buyer receives δ fast GPUs from the seller and pays α·δ slow
+// GPUs, with the exchange rate α chosen strictly between the two
+// users' speedups. Both users' throughput-valued allocation then
+// strictly increases — a Pareto improvement — so trading can only
+// ever help, and no user's fairness guarantee is weakened. Trades are
+// recomputed from fresh entitlements and fresh profiles every
+// scheduling round, so they self-correct as jobs arrive and finish.
+package trade
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/fairshare"
+	"repro/internal/gpu"
+	"repro/internal/job"
+)
+
+// PricePolicy chooses the exchange rate α within (s_seller, s_buyer).
+type PricePolicy int
+
+const (
+	// Geometric sets α = √(s_b·s_s): symmetric in ratio space, the
+	// repository default.
+	Geometric PricePolicy = iota
+	// Midpoint sets α = (s_b+s_s)/2.
+	Midpoint
+	// SellerFloor sets α just above s_s, giving the buyer almost all
+	// of the gains from trade.
+	SellerFloor
+	// BuyerCeiling sets α just below s_b, giving the seller almost
+	// all of the gains.
+	BuyerCeiling
+)
+
+func (p PricePolicy) String() string {
+	switch p {
+	case Geometric:
+		return "geometric"
+	case Midpoint:
+		return "midpoint"
+	case SellerFloor:
+		return "seller-floor"
+	case BuyerCeiling:
+		return "buyer-ceiling"
+	default:
+		return fmt.Sprintf("PricePolicy(%d)", int(p))
+	}
+}
+
+// Config tunes the trading loop.
+type Config struct {
+	Policy PricePolicy
+
+	// MinRatio is the minimum s_buyer/s_seller ratio required to
+	// trade; the conservative margin that keeps profiling noise from
+	// triggering value-destroying trades. Zero means the default 1.10.
+	MinRatio float64
+
+	// MaxPasses bounds the outer fixpoint loop over generation
+	// pairs. Zero means the default 8.
+	MaxPasses int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinRatio == 0 {
+		c.MinRatio = 1.10
+	}
+	if c.MaxPasses == 0 {
+		c.MaxPasses = 8
+	}
+	return c
+}
+
+// Validate checks the config.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.MinRatio <= 1 {
+		return fmt.Errorf("trade: MinRatio %v must exceed 1", c.MinRatio)
+	}
+	if c.MaxPasses < 1 {
+		return fmt.Errorf("trade: MaxPasses %d must be positive", c.MaxPasses)
+	}
+	return nil
+}
+
+// Values holds each user's profiled per-generation value: the
+// gang-weighted speedup of generation g over the oldest generation,
+// aggregated over the user's runnable jobs. A zero entry means "no
+// estimate"; users without estimates on a pair simply do not trade on
+// it (their entitlement is untouched, preserving their guarantee).
+type Values map[job.UserID][gpu.NumGenerations]float64
+
+// Trade records one executed exchange.
+type Trade struct {
+	Buyer, Seller job.UserID
+	Fast, Slow    gpu.Generation
+	FastGPUs      float64 // δ, moved seller → buyer
+	SlowGPUs      float64 // α·δ, moved buyer → seller
+	Price         float64 // α
+	BuyerSpeedup  float64 // s_b = value_b(fast)/value_b(slow)
+	SellerSpeedup float64 // s_s
+}
+
+const eps = 1e-9
+
+// Run applies trading to a fair-share allocation and returns the
+// adjusted allocation plus the executed trade log. The input
+// allocation is not modified. Conservation holds per generation:
+// column sums of the output equal those of the input.
+//
+// demands bounds each user's post-trade total entitlement: a seller
+// receives α > 1 slow GPUs per fast GPU given, which only translates
+// into throughput if the seller has runnable work for them, so trades
+// are capped at the seller's spare demand (demand − current total).
+// A nil demands map disables the bound (all users backlogged).
+func Run(alloc fairshare.Allocation, vals Values, demands map[job.UserID]float64, cfg Config) (fairshare.Allocation, []Trade, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	cfg = cfg.withDefaults()
+	out := alloc.Clone()
+	var log []Trade
+
+	pairs := genPairs()
+	for pass := 0; pass < cfg.MaxPasses; pass++ {
+		traded := false
+		for _, pr := range pairs {
+			for {
+				tr, ok := bestTrade(out, vals, demands, pr.fast, pr.slow, cfg)
+				if !ok {
+					break
+				}
+				apply(out, tr)
+				log = append(log, tr)
+				traded = true
+			}
+		}
+		if !traded {
+			break
+		}
+	}
+	return out, log, nil
+}
+
+type pair struct{ fast, slow gpu.Generation }
+
+// genPairs enumerates (fast, slow) generation pairs, widest
+// throughput gap first (newest vs oldest), so the most valuable
+// trades execute before entitlements are consumed by lesser ones.
+func genPairs() []pair {
+	gens := gpu.Generations()
+	var out []pair
+	for _, f := range gens {
+		for _, s := range gens {
+			if f > s {
+				out = append(out, pair{f, s})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di := int(out[i].fast) - int(out[i].slow)
+		dj := int(out[j].fast) - int(out[j].slow)
+		if di != dj {
+			return di > dj
+		}
+		if out[i].fast != out[j].fast {
+			return out[i].fast > out[j].fast
+		}
+		return out[i].slow > out[j].slow
+	})
+	return out
+}
+
+// speedupOn returns user u's value ratio fast/slow, or ok=false if
+// either side lacks an estimate.
+func speedupOn(vals Values, u job.UserID, fast, slow gpu.Generation) (float64, bool) {
+	v, ok := vals[u]
+	if !ok {
+		return 0, false
+	}
+	if v[fast] <= eps || v[slow] <= eps {
+		return 0, false
+	}
+	return v[fast] / v[slow], true
+}
+
+// bestTrade finds the most profitable single trade on one generation
+// pair: buyer = max-speedup user holding slow currency, seller =
+// min-speedup user holding fast entitlement.
+func bestTrade(alloc fairshare.Allocation, vals Values, demands map[job.UserID]float64, fast, slow gpu.Generation, cfg Config) (Trade, bool) {
+	type cand struct {
+		u job.UserID
+		s float64
+	}
+	var buyers, sellers []cand
+	for u, e := range alloc {
+		s, ok := speedupOn(vals, u, fast, slow)
+		if !ok {
+			continue
+		}
+		if e[slow] > eps {
+			buyers = append(buyers, cand{u, s})
+		}
+		if e[fast] > eps {
+			sellers = append(sellers, cand{u, s})
+		}
+	}
+	if len(buyers) == 0 || len(sellers) == 0 {
+		return Trade{}, false
+	}
+	// Deterministic extremes: ties broken by user ID.
+	sort.Slice(buyers, func(i, j int) bool {
+		if buyers[i].s != buyers[j].s {
+			return buyers[i].s > buyers[j].s
+		}
+		return buyers[i].u < buyers[j].u
+	})
+	sort.Slice(sellers, func(i, j int) bool {
+		if sellers[i].s != sellers[j].s {
+			return sellers[i].s < sellers[j].s
+		}
+		return sellers[i].u < sellers[j].u
+	})
+	b, s := buyers[0], sellers[0]
+	if b.u == s.u {
+		// The extreme buyer and seller are the same user; try the
+		// next-best on either side.
+		if len(buyers) > 1 && (len(sellers) == 1 || buyers[1].s/s.s >= b.s/sellers[1].s) {
+			b = buyers[1]
+		} else if len(sellers) > 1 {
+			s = sellers[1]
+		} else {
+			return Trade{}, false
+		}
+		if b.u == s.u {
+			return Trade{}, false
+		}
+	}
+	if b.s/s.s < cfg.MinRatio {
+		return Trade{}, false
+	}
+	alpha := price(cfg.Policy, b.s, s.s)
+	if alpha <= s.s+eps || alpha >= b.s-eps {
+		return Trade{}, false
+	}
+	// δ bounded by the seller's fast holding and the buyer's slow
+	// purse at rate α.
+	delta := math.Min(alloc[s.u][fast], alloc[b.u][slow]/alpha)
+	// The seller's total grows by (α−1)·δ; cap it at the seller's
+	// spare demand so the gain is realizable as throughput.
+	if demands != nil && alpha > 1 {
+		spare := demands[s.u] - alloc[s.u].Total()
+		if spare < 0 {
+			spare = 0
+		}
+		if lim := spare / (alpha - 1); lim < delta {
+			delta = lim
+		}
+	}
+	if delta <= eps {
+		return Trade{}, false
+	}
+	return Trade{
+		Buyer: b.u, Seller: s.u, Fast: fast, Slow: slow,
+		FastGPUs: delta, SlowGPUs: alpha * delta, Price: alpha,
+		BuyerSpeedup: b.s, SellerSpeedup: s.s,
+	}, true
+}
+
+func price(p PricePolicy, sb, ss float64) float64 {
+	const margin = 0.02 // keep strictly inside (ss, sb)
+	switch p {
+	case Midpoint:
+		return (sb + ss) / 2
+	case SellerFloor:
+		return math.Min(ss*(1+margin), (sb+ss)/2)
+	case BuyerCeiling:
+		return math.Max(sb*(1-margin), (sb+ss)/2)
+	default: // Geometric
+		return math.Sqrt(sb * ss)
+	}
+}
+
+func apply(alloc fairshare.Allocation, t Trade) {
+	eb, es := alloc[t.Buyer], alloc[t.Seller]
+	eb[t.Fast] += t.FastGPUs
+	es[t.Fast] -= t.FastGPUs
+	eb[t.Slow] -= t.SlowGPUs
+	es[t.Slow] += t.SlowGPUs
+	// Clamp the tiny negatives floating point can leave behind.
+	for _, e := range []fairshare.Entitlement{eb, es} {
+		for g, v := range e {
+			if v < 0 && v > -1e-6 {
+				e[g] = 0
+			}
+		}
+	}
+}
+
+// ValueOf computes a user's throughput-valued allocation Σ_g E(g)·v(g)
+// under their own value vector — the quantity trading must strictly
+// increase for both parties.
+func ValueOf(e fairshare.Entitlement, v [gpu.NumGenerations]float64) float64 {
+	var sum float64
+	for g, x := range e {
+		sum += x * v[g]
+	}
+	return sum
+}
+
+// GainSummary aggregates a trade log into per-user value deltas for
+// reporting: positive for every participant by construction.
+func GainSummary(log []Trade, vals Values) map[job.UserID]float64 {
+	gains := make(map[job.UserID]float64)
+	for _, t := range log {
+		vb, vs := vals[t.Buyer], vals[t.Seller]
+		gains[t.Buyer] += t.FastGPUs*vb[t.Fast] - t.SlowGPUs*vb[t.Slow]
+		gains[t.Seller] += t.SlowGPUs*vs[t.Slow] - t.FastGPUs*vs[t.Fast]
+	}
+	return gains
+}

@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/job"
+	"repro/internal/simclock"
+)
+
+// csvHeader is the trace file schema, stable across tools.
+var csvHeader = []string{"id", "user", "model", "gang", "total_minibatches", "arrival_seconds"}
+
+// WriteCSV serializes a job trace. The format round-trips through
+// ReadCSV given the same zoo (per-model performance profiles are
+// referenced by name, not embedded).
+func WriteCSV(w io.Writer, specs []job.Spec) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	for _, s := range specs {
+		rec := []string{
+			strconv.FormatInt(int64(s.ID), 10),
+			string(s.User),
+			s.Perf.Model,
+			strconv.Itoa(s.Gang),
+			strconv.FormatFloat(s.TotalMB, 'g', -1, 64),
+			strconv.FormatFloat(float64(s.Arrival), 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("workload: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV parses a trace written by WriteCSV, resolving model names
+// against the zoo and validating every spec.
+func ReadCSV(r io.Reader, z *Zoo) ([]job.Spec, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("workload: empty trace file")
+	}
+	for i, col := range csvHeader {
+		if rows[0][i] != col {
+			return nil, fmt.Errorf("workload: bad trace header: column %d is %q, want %q", i, rows[0][i], col)
+		}
+	}
+	specs := make([]job.Spec, 0, len(rows)-1)
+	for n, row := range rows[1:] {
+		line := n + 2
+		id, err := strconv.ParseInt(row[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: bad id %q", line, row[0])
+		}
+		perf, err := z.Get(row[2])
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", line, err)
+		}
+		gang, err := strconv.Atoi(row[3])
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: bad gang %q", line, row[3])
+		}
+		total, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: bad total_minibatches %q", line, row[4])
+		}
+		arrival, err := strconv.ParseFloat(row[5], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: bad arrival %q", line, row[5])
+		}
+		spec := job.Spec{
+			ID:      job.ID(id),
+			User:    job.UserID(row[1]),
+			Perf:    perf,
+			Gang:    gang,
+			TotalMB: total,
+			Arrival: simclock.Time(arrival),
+		}
+		if err := spec.Validate(); err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", line, err)
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}

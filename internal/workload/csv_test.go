@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	z := DefaultZoo()
+	specs := MustGenerate(z, Config{
+		Seed: 5,
+		Users: []UserSpec{
+			{User: "a", NumJobs: 30, ArrivalRatePerHour: 2},
+			{User: "b", NumJobs: 20},
+		},
+	})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, specs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(specs) {
+		t.Fatalf("round trip lost jobs: %d → %d", len(specs), len(got))
+	}
+	for i := range specs {
+		if got[i] != specs[i] {
+			t.Fatalf("spec %d differs:\n  want %+v\n  got  %+v", i, specs[i], got[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	z := DefaultZoo()
+	cases := map[string]string{
+		"empty":       "",
+		"bad header":  "id,user,nope,gang,total_minibatches,arrival_seconds\n",
+		"bad id":      "id,user,model,gang,total_minibatches,arrival_seconds\nx,a,vae,1,10,0\n",
+		"bad model":   "id,user,model,gang,total_minibatches,arrival_seconds\n1,a,nope,1,10,0\n",
+		"bad gang":    "id,user,model,gang,total_minibatches,arrival_seconds\n1,a,vae,x,10,0\n",
+		"bad total":   "id,user,model,gang,total_minibatches,arrival_seconds\n1,a,vae,1,x,0\n",
+		"bad arrival": "id,user,model,gang,total_minibatches,arrival_seconds\n1,a,vae,1,10,x\n",
+		"invalid":     "id,user,model,gang,total_minibatches,arrival_seconds\n1,,vae,1,10,0\n",
+		"short row":   "id,user,model,gang,total_minibatches,arrival_seconds\n1,a,vae\n",
+	}
+	for name, body := range cases {
+		if _, err := ReadCSV(strings.NewReader(body), z); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadCSVMinimal(t *testing.T) {
+	z := DefaultZoo()
+	body := "id,user,model,gang,total_minibatches,arrival_seconds\n" +
+		"7,alice,resnet50,2,3600,120.5\n"
+	specs, err := ReadCSV(strings.NewReader(body), z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := specs[0]
+	if s.ID != 7 || s.User != "alice" || s.Perf.Model != "resnet50" ||
+		s.Gang != 2 || s.TotalMB != 3600 || s.Arrival != 120.5 {
+		t.Fatalf("parsed %+v", s)
+	}
+}
