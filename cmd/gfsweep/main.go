@@ -1,0 +1,92 @@
+// Command gfsweep expands a JSON grid (one scenario × policies ×
+// seeds) into simulation points, runs them on a worker pool with the
+// invariant auditor enabled, and prints per-policy distribution
+// statistics (mean/p50/p99 JCT, share error, utilization).
+//
+// Usage:
+//
+//	gfsweep -grid scenarios/sweep.json
+//	gfsweep -grid scenarios/sweep.json -workers 8 -audit count -v
+//
+// The grid's "scenario" object uses the same schema as gfsim
+// -scenario; "policies" and "seeds" are crossed against it.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sweep"
+)
+
+func main() {
+	var (
+		gridIn   = flag.String("grid", "", "JSON grid file: {scenario, policies, seeds} (required)")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		auditStr = flag.String("audit", "strict", "invariant auditor mode: strict | count | off")
+		verbose  = flag.Bool("v", false, "print one line per completed run")
+	)
+	flag.Parse()
+
+	if *gridIn == "" {
+		fatal(fmt.Errorf("gfsweep: -grid is required"))
+	}
+	mode, err := core.ParseAuditMode(*auditStr)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Open(*gridIn)
+	if err != nil {
+		fatal(err)
+	}
+	grid, err := sweep.LoadGrid(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	points, err := grid.Points(mode)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	results := sweep.Run(context.Background(), points, sweep.Options{Workers: w})
+	elapsed := time.Since(start)
+
+	failed := 0
+	for _, r := range results {
+		if r.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", r.Label, r.Err)
+			continue
+		}
+		if *verbose {
+			fmt.Printf("ok %-28s rounds=%-6d finished=%-4d shareErr=%.3f util=%.3f\n",
+				r.Label, r.Result.Rounds, len(r.Result.Finished),
+				r.Result.MaxShareError(), r.Result.Utilization.Fraction())
+		}
+	}
+
+	if err := sweep.Summarize(results).Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\n%d runs (%d failed) in %.2fs on %d workers, audit=%s\n",
+		len(results), failed, elapsed.Seconds(), w, *auditStr)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"context"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sweep"
+)
+
+// TestExampleGrid keeps the checked-in grid file valid: it must load,
+// expand to policies × seeds points, and run clean under the strict
+// auditor — exactly what `gfsweep -grid scenarios/sweep.json` does.
+func TestExampleGrid(t *testing.T) {
+	f, err := os.Open("../../scenarios/sweep.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	grid, err := sweep.LoadGrid(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := grid.Points(core.AuditStrict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(grid.Policies) * len(grid.Seeds); len(points) != want || want != 15 {
+		t.Fatalf("points = %d, want %d (3 policies × 5 seeds)", len(points), want)
+	}
+	results := sweep.Run(context.Background(), points, sweep.Options{})
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Label, r.Err)
+		}
+	}
+	sum := sweep.Summarize(results)
+	if len(sum.Groups) != 3 {
+		t.Fatalf("groups = %d, want 3", len(sum.Groups))
+	}
+	var b strings.Builder
+	if err := sum.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []string{"gandiva-fair", "tiresias-l", "gandiva-rr"} {
+		if !strings.Contains(b.String(), g) {
+			t.Errorf("summary missing %s row:\n%s", g, b.String())
+		}
+	}
+}

@@ -24,6 +24,7 @@
 package gandivafair
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/baselines"
@@ -35,6 +36,7 @@ import (
 	"repro/internal/job"
 	"repro/internal/metrics"
 	"repro/internal/simclock"
+	"repro/internal/sweep"
 	"repro/internal/trade"
 	"repro/internal/workload"
 )
@@ -191,6 +193,59 @@ func Simulate(cfg Config, p Policy, until Time) (*Result, error) {
 	}
 	return sim.Run(until)
 }
+
+// ---------------------------------------------------------------------------
+// Invariant auditing and parallel sweeps
+
+// Re-exported audit types. Every simulation carries an auditor that
+// checks runtime invariants (capacity, gang integrity, no double
+// placement, no placement on down servers, ticket sanity, GPU-second
+// conservation) each round. AuditMode selects how violations are
+// handled; the zero value is AuditStrict.
+type (
+	AuditMode      = core.AuditMode
+	AuditReport    = core.AuditReport
+	AuditViolation = core.AuditViolation
+)
+
+// Audit modes: strict fails the run on the first violation (the
+// default, used by the whole test suite), count records violations in
+// Result.Audit without failing, off disables checking.
+const (
+	AuditStrict = core.AuditStrict
+	AuditCount  = core.AuditCount
+	AuditOff    = core.AuditOff
+)
+
+// ParseAuditMode parses "strict", "count", or "off".
+func ParseAuditMode(s string) (AuditMode, error) { return core.ParseAuditMode(s) }
+
+// Re-exported sweep types: a Point is one config × policy × horizon
+// cell; Sweep fans points across a worker pool and returns results in
+// point order; SweepSummary aggregates per-group distributions.
+type (
+	SweepPoint    = sweep.Point
+	SweepOptions  = sweep.Options
+	SweepResult   = sweep.RunResult
+	SweepSummary  = sweep.Summary
+	SweepGrid     = sweep.Grid
+	PolicyFactory = sweep.PolicyFactory
+)
+
+// Sweep runs every point on a worker pool (Workers ≤ 0 means
+// GOMAXPROCS) and returns per-point results in input order; per-point
+// failures land in SweepResult.Err, never an error return.
+func Sweep(ctx context.Context, points []SweepPoint, opt SweepOptions) []SweepResult {
+	return sweep.Run(ctx, points, opt)
+}
+
+// SummarizeSweep aggregates sweep results into per-group
+// mean/p50/p99 distributions of JCT, share error and utilization.
+func SummarizeSweep(results []SweepResult) *SweepSummary { return sweep.Summarize(results) }
+
+// LoadSweepGrid parses the JSON grid format consumed by cmd/gfsweep
+// (a scenario crossed with policy and seed lists).
+func LoadSweepGrid(r io.Reader) (*SweepGrid, error) { return sweep.LoadGrid(r) }
 
 // ---------------------------------------------------------------------------
 // Distributed runtime

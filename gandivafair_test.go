@@ -5,7 +5,9 @@ package gandivafair
 
 import (
 	"bytes"
+	"context"
 	"math"
+	"strings"
 	"testing"
 	"time"
 )
@@ -146,5 +148,56 @@ func TestPublicCustomZoo(t *testing.T) {
 	}
 	if got := zoo.MustGet("custom").Speedup(V100, K80); math.Abs(got-3) > 1e-12 {
 		t.Errorf("custom speedup = %v", got)
+	}
+}
+
+func TestPublicSweepAndAudit(t *testing.T) {
+	if _, err := ParseAuditMode("bogus"); err == nil {
+		t.Error("bogus audit mode accepted")
+	}
+	mode, err := ParseAuditMode("count")
+	if err != nil || mode != AuditCount {
+		t.Fatalf("ParseAuditMode(count) = %v, %v", mode, err)
+	}
+
+	grid, err := LoadSweepGrid(strings.NewReader(`{
+		"scenario": {
+			"cluster": [{"gen": "K80", "servers": 1, "gpus_per_server": 4}],
+			"users": [{"name": "u", "jobs": 4, "mean_k80_hours": 1,
+			           "gangs": [{"gang": 1, "weight": 1}]}],
+			"horizon_hours": 8
+		},
+		"policies": ["gandiva-fair", "fifo"],
+		"seeds": [1, 2]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := grid.Points(AuditStrict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d, want 4", len(points))
+	}
+	results := Sweep(context.Background(), points, SweepOptions{})
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Label, r.Err)
+		}
+		if r.Result.Audit == nil || !r.Result.Audit.Clean() {
+			t.Errorf("%s: audit not clean", r.Label)
+		}
+	}
+	sum := SummarizeSweep(results)
+	if len(sum.Groups) != 2 {
+		t.Fatalf("summary groups = %d, want 2", len(sum.Groups))
+	}
+	var b bytes.Buffer
+	if err := sum.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "fifo") {
+		t.Errorf("summary table missing fifo row:\n%s", b.String())
 	}
 }

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/gpu"
+	"repro/internal/job"
+	"repro/internal/placement"
+	"repro/internal/simclock"
+)
+
+// AuditMode selects how the engine's runtime invariant auditor reacts
+// to a violation. The zero value is AuditStrict, so every simulation —
+// including the whole test suite — runs fully audited unless a caller
+// explicitly opts out.
+type AuditMode int
+
+const (
+	// AuditStrict fails the round (Run returns an error) on the first
+	// violated invariant. This is the default and what all tests use.
+	AuditStrict AuditMode = iota
+
+	// AuditCount records violations and keeps simulating — the
+	// production mode: one bad round should not abort a long sweep,
+	// but it must show up in the report.
+	AuditCount
+
+	// AuditOff skips invariant checking entirely.
+	AuditOff
+)
+
+func (m AuditMode) String() string {
+	switch m {
+	case AuditStrict:
+		return "strict"
+	case AuditCount:
+		return "count"
+	case AuditOff:
+		return "off"
+	default:
+		return fmt.Sprintf("AuditMode(%d)", int(m))
+	}
+}
+
+// ParseAuditMode converts a flag value ("strict", "count", "off") to a
+// mode.
+func ParseAuditMode(s string) (AuditMode, error) {
+	switch s {
+	case "strict":
+		return AuditStrict, nil
+	case "count":
+		return AuditCount, nil
+	case "off":
+		return AuditOff, nil
+	default:
+		return 0, fmt.Errorf("core: unknown audit mode %q (want strict, count, or off)", s)
+	}
+}
+
+// Invariant names as they appear in AuditReport.Counts.
+const (
+	InvCapacity     = "capacity"     // placed gang width ≤ per-generation capacity net of failures
+	InvGang         = "gang"         // every gang fully placed on devices of a single generation it fits
+	InvDoublePlace  = "double-place" // no device assigned to two jobs in one round
+	InvDownServer   = "down-server"  // no placed device sits on a failed server
+	InvTickets      = "tickets"      // runtime ticket state stays non-negative
+	InvConservation = "conservation" // charged GPU-seconds per round ≤ capacity × quantum, per generation
+	InvUsefulBound  = "useful-bound" // useful seconds ≤ occupied seconds ≤ quantum, per job
+)
+
+// AuditViolation is one recorded invariant breach.
+type AuditViolation struct {
+	Round     int
+	At        simclock.Time
+	Invariant string
+	Detail    string
+}
+
+func (v AuditViolation) String() string {
+	return fmt.Sprintf("round %d (t=%v): %s: %s", v.Round, v.At, v.Invariant, v.Detail)
+}
+
+// maxRecordedViolations bounds the per-violation detail kept in
+// counting mode; Counts keeps exact totals beyond it.
+const maxRecordedViolations = 64
+
+// AuditReport summarizes what the auditor saw over a run. It is
+// carried in Result.Audit (nil only when auditing was off).
+type AuditReport struct {
+	Mode   AuditMode
+	Rounds int // rounds audited
+	Checks int // individual invariant evaluations
+
+	// Counts is violations per invariant name; empty means clean.
+	Counts map[string]int
+
+	// Violations holds the first maxRecordedViolations breaches with
+	// detail, in occurrence order.
+	Violations []AuditViolation
+}
+
+// Total returns the total violation count across invariants.
+func (r *AuditReport) Total() int {
+	n := 0
+	for _, c := range r.Counts {
+		n += c
+	}
+	return n
+}
+
+// Clean reports whether no invariant was ever violated.
+func (r *AuditReport) Clean() bool { return r.Total() == 0 }
+
+// Summary renders a one-line digest, e.g. for CLI output.
+func (r *AuditReport) Summary() string {
+	if r.Clean() {
+		return fmt.Sprintf("audit[%v]: %d rounds, %d checks, clean", r.Mode, r.Rounds, r.Checks)
+	}
+	names := make([]string, 0, len(r.Counts))
+	for n := range r.Counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s := fmt.Sprintf("audit[%v]: %d rounds, %d checks, %d VIOLATIONS:", r.Mode, r.Rounds, r.Checks, r.Total())
+	for _, n := range names {
+		s += fmt.Sprintf(" %s=%d", n, r.Counts[n])
+	}
+	return s
+}
+
+// auditor is the engine's always-on invariant checker. It is fed by
+// runRound (placement, tickets, capacity) and executeJob (per-job
+// accounting) and verifies conservation at every round boundary.
+type auditor struct {
+	mode    AuditMode
+	cluster *gpu.Cluster
+	quantum simclock.Duration
+	rep     AuditReport
+
+	// Per-round scratch, reset by beginRound.
+	round   int
+	now     simclock.Time
+	caps    map[gpu.Generation]int
+	busyGen map[gpu.Generation]float64
+}
+
+func newAuditor(mode AuditMode, cluster *gpu.Cluster, quantum simclock.Duration) *auditor {
+	return &auditor{
+		mode:    mode,
+		cluster: cluster,
+		quantum: quantum,
+		rep:     AuditReport{Mode: mode, Counts: make(map[string]int)},
+		busyGen: make(map[gpu.Generation]float64),
+	}
+}
+
+func (a *auditor) on() bool { return a.mode != AuditOff }
+
+func (a *auditor) violate(invariant, format string, args ...any) {
+	a.rep.Counts[invariant]++
+	if len(a.rep.Violations) < maxRecordedViolations {
+		a.rep.Violations = append(a.rep.Violations, AuditViolation{
+			Round: a.round, At: a.now, Invariant: invariant,
+			Detail: fmt.Sprintf(format, args...),
+		})
+	}
+}
+
+// beginRound resets per-round state and checks the runtime ticket
+// invariant after this round's ticket changes were applied.
+func (a *auditor) beginRound(round int, now simclock.Time, caps map[gpu.Generation]int, tickets map[job.UserID]float64) {
+	if !a.on() {
+		return
+	}
+	a.round = round
+	a.now = now
+	a.caps = caps
+	for g := range a.busyGen {
+		delete(a.busyGen, g)
+	}
+	a.rep.Rounds++
+	for u, t := range tickets {
+		a.rep.Checks++
+		if t < 0 {
+			a.violate(InvTickets, "user %s has %v tickets", u, t)
+		}
+	}
+}
+
+// checkAssignment audits the concrete device placement of one round:
+// gang integrity, capacity, double placement, and failed servers.
+func (a *auditor) checkAssignment(asg placement.Assignment, active map[job.ID]*job.Job, down map[gpu.ServerID]bool) {
+	if !a.on() {
+		return
+	}
+	used := make(map[gpu.DeviceID]job.ID, len(asg))
+	width := make(map[gpu.Generation]int)
+	for id, devs := range asg {
+		j := active[id]
+		if j == nil {
+			a.violate(InvGang, "job %d placed but not active", id)
+			continue
+		}
+		a.rep.Checks++
+		if len(devs) != j.Gang {
+			a.violate(InvGang, "job %d holds %d devices, gang is %d", id, len(devs), j.Gang)
+		}
+		var gen gpu.Generation
+		if len(devs) > 0 {
+			gen = a.cluster.Device(devs[0]).Gen
+			width[gen] += len(devs)
+		}
+		for _, d := range devs {
+			dev := a.cluster.Device(d)
+			a.rep.Checks++
+			if dev.Gen != gen {
+				a.violate(InvGang, "job %d spans generations %v and %v", id, gen, dev.Gen)
+			}
+			if prev, dup := used[d]; dup {
+				a.violate(InvDoublePlace, "device %d held by jobs %d and %d", d, prev, id)
+			}
+			used[d] = id
+			if down[dev.Server] {
+				a.violate(InvDownServer, "job %d placed on failed server %d (device %d)", id, dev.Server, d)
+			}
+		}
+		if len(devs) > 0 && !j.Perf.FitsOn(gen) {
+			a.violate(InvGang, "job %d (%s) placed on unusable generation %v", id, j.Perf.Model, gen)
+		}
+	}
+	for g, w := range width {
+		a.rep.Checks++
+		if w > a.caps[g] {
+			a.violate(InvCapacity, "%d GPUs placed on %v, capacity %d", w, g, a.caps[g])
+		}
+	}
+}
+
+// noteExec audits one job's execution accounting and accrues the
+// round's per-generation busy time for the conservation check.
+func (a *auditor) noteExec(j *job.Job, gen gpu.Generation, info RanInfo) {
+	if !a.on() {
+		return
+	}
+	const tol = 1e-6
+	a.rep.Checks++
+	if info.OccupiedSecs > a.quantum+tol {
+		a.violate(InvUsefulBound, "job %d occupied %v s > quantum %v s", j.ID, info.OccupiedSecs, a.quantum)
+	}
+	if info.UsefulSecs > info.OccupiedSecs+tol {
+		a.violate(InvUsefulBound, "job %d useful %v s > occupied %v s", j.ID, info.UsefulSecs, info.OccupiedSecs)
+	}
+	if info.UsefulSecs < 0 || info.OccupiedSecs < 0 {
+		a.violate(InvUsefulBound, "job %d negative accounting: useful %v, occupied %v", j.ID, info.UsefulSecs, info.OccupiedSecs)
+	}
+	a.busyGen[gen] += float64(j.Gang) * info.OccupiedSecs
+}
+
+// endRound verifies GPU-second conservation for the round and, in
+// strict mode, surfaces the round's first violation as an error.
+func (a *auditor) endRound() error {
+	if !a.on() {
+		return nil
+	}
+	for g, busy := range a.busyGen {
+		a.rep.Checks++
+		bound := float64(a.caps[g]) * a.quantum
+		if busy > bound+1e-6*(1+bound) {
+			a.violate(InvConservation, "%v charged %v GPU-s, capacity %v GPU-s", g, busy, bound)
+		}
+	}
+	if a.mode == AuditStrict && len(a.rep.Violations) > 0 {
+		v := a.rep.Violations[0]
+		return fmt.Errorf("core: audit: %s", v)
+	}
+	return nil
+}
+
+// report snapshots the accumulated audit state for Result.
+func (a *auditor) report() *AuditReport {
+	if !a.on() {
+		return nil
+	}
+	rep := a.rep
+	rep.Counts = make(map[string]int, len(a.rep.Counts))
+	for k, v := range a.rep.Counts {
+		rep.Counts[k] = v
+	}
+	rep.Violations = append([]AuditViolation(nil), a.rep.Violations...)
+	return &rep
+}

@@ -165,3 +165,179 @@ func checkInvariants(t *testing.T, cfg Config, res *Result, totalJobs int) {
 		t.Errorf("%d migrations despite DisableMigration", res.Migrations)
 	}
 }
+
+// TestAuditCorpus drives the strict auditor through handpicked nasty
+// scenarios: overlapping failures on the same server, mid-run ticket
+// changes down to zero (and back), and their combination. Each run
+// must complete without a strict-audit error and report a clean audit.
+func TestAuditCorpus(t *testing.T) {
+	cluster := func() *gpu.Cluster {
+		return gpu.MustNew(
+			gpu.Spec{Gen: gpu.K80, Servers: 2, GPUsPerSrv: 4},
+			gpu.Spec{Gen: gpu.V100, Servers: 2, GPUsPerSrv: 4},
+		)
+	}
+	trace := func(seed int64) []job.Spec {
+		return workload.MustGenerate(workload.DefaultZoo(), workload.Config{
+			Seed: seed,
+			Users: []workload.UserSpec{
+				{User: "a", NumJobs: 8, ArrivalRatePerHour: 2, MeanK80Hours: 2,
+					GangDist: []workload.GangWeight{{Gang: 1, Weight: 0.7}, {Gang: 2, Weight: 0.3}}},
+				{User: "b", NumJobs: 8, ArrivalRatePerHour: 2, MeanK80Hours: 2,
+					GangDist: []workload.GangWeight{{Gang: 1, Weight: 1}}},
+			},
+			MaxK80Hours: 6,
+		})
+	}
+	cases := []struct {
+		name     string
+		failures []Failure
+		changes  []TicketChange
+	}{
+		{
+			name: "overlapping-failures-same-server",
+			failures: []Failure{
+				{Server: 0, At: simclock.Time(1 * simclock.Hour), Duration: 4 * simclock.Hour},
+				{Server: 0, At: simclock.Time(2 * simclock.Hour), Duration: 4 * simclock.Hour},
+				{Server: 0, At: simclock.Time(3 * simclock.Hour), Duration: 1 * simclock.Hour},
+			},
+		},
+		{
+			name: "tickets-to-zero-and-back",
+			changes: []TicketChange{
+				{At: simclock.Time(2 * simclock.Hour), User: "a", Tickets: 0},
+				{At: simclock.Time(6 * simclock.Hour), User: "a", Tickets: 1},
+			},
+		},
+		{
+			name: "all-users-zeroed",
+			changes: []TicketChange{
+				{At: simclock.Time(3 * simclock.Hour), User: "a", Tickets: 0},
+				{At: simclock.Time(3 * simclock.Hour), User: "b", Tickets: 0},
+			},
+		},
+		{
+			name: "failures-plus-ticket-churn",
+			failures: []Failure{
+				{Server: 1, At: simclock.Time(1 * simclock.Hour), Duration: 3 * simclock.Hour},
+				{Server: 1, At: simclock.Time(2 * simclock.Hour), Duration: 6 * simclock.Hour},
+				{Server: 3, At: simclock.Time(4 * simclock.Hour), Duration: 2 * simclock.Hour},
+			},
+			changes: []TicketChange{
+				{At: simclock.Time(2 * simclock.Hour), User: "b", Tickets: 0},
+				{At: simclock.Time(5 * simclock.Hour), User: "b", Tickets: 3},
+			},
+		},
+	}
+	for _, tc := range cases {
+		for _, trading := range []bool{false, true} {
+			name := tc.name
+			if trading {
+				name += "/trading"
+			}
+			t.Run(name, func(t *testing.T) {
+				cfg := Config{
+					Cluster:       cluster(),
+					Specs:         trace(7),
+					Seed:          7,
+					Failures:      tc.failures,
+					TicketChanges: tc.changes,
+					Audit:         AuditStrict,
+				}
+				sim, err := New(cfg, MustNewFairPolicy(FairConfig{EnableTrading: trading}))
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := sim.Run(simclock.Time(24 * simclock.Hour))
+				if err != nil {
+					t.Fatalf("strict audit failed: %v", err)
+				}
+				if res.Audit == nil || !res.Audit.Clean() {
+					t.Fatalf("audit not clean: %s", res.Audit.Summary())
+				}
+				if res.Audit.Rounds != res.Rounds {
+					t.Errorf("audited %d rounds, engine ran %d", res.Audit.Rounds, res.Rounds)
+				}
+				checkInvariants(t, cfg, res, len(cfg.Specs))
+			})
+		}
+	}
+}
+
+// FuzzEngineAudit is a native fuzz target: the fuzzer mutates a
+// compact byte recipe into a bounded scenario (cluster shape, jobs,
+// overlapping failures, ticket changes to arbitrary values including
+// zero) and the strict auditor must stay clean on every input.
+//
+// Run with: go test -fuzz FuzzEngineAudit -fuzztime 30s ./internal/core
+func FuzzEngineAudit(f *testing.F) {
+	// Seed corpus: bytes are (seed, servers, gpusPerSrv, jobsA, jobsB,
+	// failureCount, ticketChangeCount, trading).
+	f.Add(uint8(1), uint8(2), uint8(4), uint8(6), uint8(6), uint8(2), uint8(2), false)
+	f.Add(uint8(7), uint8(1), uint8(2), uint8(3), uint8(0), uint8(0), uint8(1), true)
+	f.Add(uint8(42), uint8(3), uint8(1), uint8(8), uint8(8), uint8(4), uint8(3), true)
+	f.Add(uint8(99), uint8(2), uint8(3), uint8(1), uint8(12), uint8(3), uint8(0), false)
+	f.Fuzz(func(t *testing.T, seed, servers, gpus, jobsA, jobsB, nFail, nChange uint8, trading bool) {
+		servers = 1 + servers%3
+		gpus = 1 + gpus%4
+		jobsA, jobsB = jobsA%12, jobsB%12
+		if jobsA == 0 && jobsB == 0 {
+			return
+		}
+		cluster := gpu.MustNew(
+			gpu.Spec{Gen: gpu.K80, Servers: int(servers), GPUsPerSrv: int(gpus)},
+			gpu.Spec{Gen: gpu.V100, Servers: int(servers), GPUsPerSrv: int(gpus)},
+		)
+		var users []workload.UserSpec
+		gd := []workload.GangWeight{{Gang: 1, Weight: 1}}
+		if jobsA > 0 {
+			users = append(users, workload.UserSpec{
+				User: "a", NumJobs: int(jobsA), ArrivalRatePerHour: 2, MeanK80Hours: 1, GangDist: gd})
+		}
+		if jobsB > 0 {
+			users = append(users, workload.UserSpec{
+				User: "b", NumJobs: int(jobsB), ArrivalRatePerHour: 1, MeanK80Hours: 1, GangDist: gd})
+		}
+		trace := workload.MustGenerate(workload.DefaultZoo(), workload.Config{
+			Seed: int64(seed), Users: users, MaxK80Hours: 4,
+		})
+		rng := rand.New(rand.NewSource(int64(seed) + 1))
+		var failures []Failure
+		for i := 0; i < int(nFail%5); i++ {
+			// Deliberately allowed to overlap on the same server.
+			failures = append(failures, Failure{
+				Server:   gpu.ServerID(rng.Intn(cluster.NumServers())),
+				At:       simclock.Time(rng.Intn(10) * 3600),
+				Duration: simclock.Duration(1+rng.Intn(5)) * simclock.Hour,
+			})
+		}
+		var changes []TicketChange
+		userIDs := []job.UserID{"a", "b"}
+		for i := 0; i < int(nChange%4); i++ {
+			changes = append(changes, TicketChange{
+				At:      simclock.Time(rng.Intn(12) * 3600),
+				User:    userIDs[rng.Intn(2)],
+				Tickets: float64(rng.Intn(3)), // 0 is in range on purpose
+			})
+		}
+		cfg := Config{
+			Cluster:       cluster,
+			Specs:         trace,
+			Seed:          int64(seed),
+			Failures:      failures,
+			TicketChanges: changes,
+			Audit:         AuditStrict,
+		}
+		sim, err := New(cfg, MustNewFairPolicy(FairConfig{EnableTrading: trading}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(simclock.Time(16 * simclock.Hour))
+		if err != nil {
+			t.Fatalf("strict audit failed: %v", err)
+		}
+		if res.Audit == nil || !res.Audit.Clean() {
+			t.Fatalf("audit not clean: %s", res.Audit.Summary())
+		}
+	})
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/job"
+	"repro/internal/simclock"
+	"repro/internal/workload"
+)
+
+// TestResultZeroValue pins down the metric methods on an empty Result:
+// no panics, no NaNs, empty slices.
+func TestResultZeroValue(t *testing.T) {
+	var r Result
+	if got := r.MaxShareError(); got != 0 {
+		t.Errorf("MaxShareError on zero Result = %v, want 0", got)
+	}
+	if got := r.JCTs(); len(got) != 0 {
+		t.Errorf("JCTs on zero Result = %v, want empty", got)
+	}
+	if got := r.QueueDelays(); len(got) != 0 {
+		t.Errorf("QueueDelays on zero Result = %v, want empty", got)
+	}
+	if got := r.TotalUsageByUser(); len(got) != 0 {
+		t.Errorf("TotalUsageByUser on zero Result = %v, want empty", got)
+	}
+	if got := r.Utilization.Fraction(); got != 0 {
+		t.Errorf("Utilization.Fraction on zero Result = %v, want 0", got)
+	}
+}
+
+// TestResultFairReferenceWithoutUsage: a fair reference exists but the
+// user never ran (e.g. the run was cut before their first quantum) —
+// the share error must be the full entitlement fraction, not NaN.
+func TestResultFairReferenceWithoutUsage(t *testing.T) {
+	r := Result{
+		FairUsageByUser: map[job.UserID]float64{"ghost": 3600},
+	}
+	if got := r.MaxShareError(); math.IsNaN(got) || got != 1 {
+		t.Errorf("MaxShareError with fair reference but no usage = %v, want 1", got)
+	}
+}
+
+// TestResultSingleJob runs one 1-GPU job to completion and checks
+// every metric has its degenerate single-sample shape.
+func TestResultSingleJob(t *testing.T) {
+	z := workload.DefaultZoo()
+	specs, err := workload.AssignIDs(workload.BatchJobs("solo", z.MustGet("lstm"), 1, 1, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := gpu.MustNew(gpu.Spec{Gen: gpu.K80, Servers: 1, GPUsPerSrv: 1})
+	sim, err := New(Config{Cluster: cluster, Specs: specs, Seed: 3}, MustNewFairPolicy(FairConfig{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(simclock.Time(simclock.Day))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Finished) != 1 || res.Unfinished != 0 {
+		t.Fatalf("finished %d unfinished %d, want 1/0", len(res.Finished), res.Unfinished)
+	}
+	jcts := res.JCTs()
+	if len(jcts) != 1 || jcts[0] <= 0 {
+		t.Fatalf("JCTs = %v", jcts)
+	}
+	delays := res.QueueDelays()
+	if len(delays) != 1 || delays[0] < 0 {
+		t.Fatalf("QueueDelays = %v", delays)
+	}
+	// One user alone: observed share and fair share are both 100%, so
+	// the error must be ~0.
+	if got := res.MaxShareError(); got > 1e-9 {
+		t.Errorf("single-user MaxShareError = %v, want 0", got)
+	}
+	usage := res.TotalUsageByUser()
+	if usage["solo"] <= 0 {
+		t.Errorf("TotalUsageByUser = %v", usage)
+	}
+	if res.Audit == nil || !res.Audit.Clean() {
+		t.Errorf("audit not clean on single-job run: %v", res.Audit)
+	}
+}
+
+// TestResultAllUnfinished cuts the horizon long before any job can
+// complete: JCTs and QueueDelays must be empty while usage metrics
+// still accumulate.
+func TestResultAllUnfinished(t *testing.T) {
+	z := workload.DefaultZoo()
+	var specs []job.Spec
+	specs = append(specs, workload.BatchJobs("a", z.MustGet("vae"), 3, 1, 1e6)...)
+	specs = append(specs, workload.BatchJobs("b", z.MustGet("gru"), 3, 1, 1e6)...)
+	specs, err := workload.AssignIDs(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := gpu.MustNew(gpu.Spec{Gen: gpu.K80, Servers: 1, GPUsPerSrv: 4})
+	sim, err := New(Config{Cluster: cluster, Specs: specs, Seed: 4}, MustNewFairPolicy(FairConfig{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(simclock.Time(2 * simclock.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Finished) != 0 || res.Unfinished != 6 {
+		t.Fatalf("finished %d unfinished %d, want 0/6", len(res.Finished), res.Unfinished)
+	}
+	if got := res.JCTs(); len(got) != 0 {
+		t.Errorf("JCTs = %v, want empty", got)
+	}
+	if got := res.QueueDelays(); len(got) != 0 {
+		t.Errorf("QueueDelays = %v, want empty", got)
+	}
+	usage := res.TotalUsageByUser()
+	if usage["a"] <= 0 || usage["b"] <= 0 {
+		t.Errorf("usage should accumulate for unfinished jobs: %v", usage)
+	}
+	if err := res.MaxShareError(); math.IsNaN(err) {
+		t.Error("MaxShareError is NaN on all-unfinished run")
+	}
+	if res.Utilization.Fraction() <= 0 || res.Utilization.Fraction() > 1 {
+		t.Errorf("utilization = %v", res.Utilization.Fraction())
+	}
+}

@@ -56,6 +56,13 @@ type Config struct {
 	// applies from the first round at or after At.
 	TicketChanges []TicketChange
 
+	// Audit selects the runtime invariant auditor's mode. The zero
+	// value is AuditStrict: every round is checked and the first
+	// violation aborts the run. Use AuditCount for long production
+	// sweeps (violations are tallied in Result.Audit instead) or
+	// AuditOff to disable checking.
+	Audit AuditMode
+
 	// Seed feeds all randomness (profiling noise).
 	Seed int64
 }
@@ -160,6 +167,9 @@ func (c Config) Validate() error {
 			return fmt.Errorf("core: invalid ticket change %+v", tc)
 		}
 	}
+	if c.Audit != AuditStrict && c.Audit != AuditCount && c.Audit != AuditOff {
+		return fmt.Errorf("core: invalid audit mode %d", int(c.Audit))
+	}
 	return nil
 }
 
@@ -200,6 +210,10 @@ type Result struct {
 	Log      *trace.Log
 	Rounds   int
 	End      simclock.Time
+
+	// Audit is the invariant auditor's report for the run; nil only
+	// when the config disabled auditing (AuditOff).
+	Audit *AuditReport
 }
 
 // TotalUsageByUser sums occupied GPU-seconds across generations.
@@ -278,6 +292,7 @@ type Sim struct {
 	trades     int
 	rounds     int
 	wasDown    map[gpu.ServerID]bool
+	aud        *auditor
 }
 
 // New builds a simulation for a policy. The config is validated.
@@ -311,6 +326,7 @@ func New(cfg Config, policy Policy) (*Sim, error) {
 		busyByGen: make(map[gpu.Generation]float64),
 		capByGen:  make(map[gpu.Generation]float64),
 		wasDown:   make(map[gpu.ServerID]bool),
+		aud:       newAuditor(cfg.Audit, cfg.Cluster, cfg.Quantum),
 	}
 	s.ticketQ = make([]TicketChange, len(cfg.TicketChanges))
 	copy(s.ticketQ, cfg.TicketChanges)
@@ -407,6 +423,8 @@ func (s *Sim) runRound() error {
 		MigrationDisabled: s.cfg.DisableMigration,
 		Down:              down,
 	}
+	capNow := st.CapacityByGen()
+	s.aud.beginRound(s.rounds, now, capNow, s.tickets)
 	// Policy-independent fairness reference for this round,
 	// water-filled over the capacity actually available (failed
 	// servers excluded).
@@ -415,7 +433,7 @@ func (s *Sim) runRound() error {
 		demand[j.User] += float64(j.Gang)
 	}
 	availTotal := 0.0
-	for _, c := range st.CapacityByGen() {
+	for _, c := range capNow {
 		availTotal += float64(c)
 	}
 	for u, sh := range fairshare.Compute(s.tickets, demand, availTotal) {
@@ -423,7 +441,7 @@ func (s *Sim) runRound() error {
 	}
 
 	dec := s.policy.Decide(st)
-	if err := s.checkDecision(dec, st.CapacityByGen()); err != nil {
+	if err := s.checkDecision(dec, capNow); err != nil {
 		return err
 	}
 	s.trades += len(dec.Trades)
@@ -438,6 +456,7 @@ func (s *Sim) runRound() error {
 	if err := placement.Validate(s.cfg.Cluster, res.Assignment); err != nil {
 		return fmt.Errorf("core: round %d: %w", s.rounds, err)
 	}
+	s.aud.checkAssignment(res.Assignment, s.active, down)
 
 	migrated := make(map[job.ID]bool, len(res.Migrated))
 	for _, id := range res.Migrated {
@@ -446,7 +465,18 @@ func (s *Sim) runRound() error {
 
 	rep := &ExecReport{Ran: make(map[job.ID]RanInfo, len(res.Assignment)), Unplaced: res.Unplaced}
 	ranThisRound := make(map[job.ID]bool, len(res.Assignment))
-	for id, devs := range res.Assignment {
+	// Execute in job-ID order, not assignment-map order: executeJob
+	// consumes draws from the shared profiling RNG, so the processing
+	// order decides which job sees which noise sample. Map iteration
+	// order varies between processes and would make runs with the same
+	// seed diverge.
+	placed := make([]job.ID, 0, len(res.Assignment))
+	for id := range res.Assignment {
+		placed = append(placed, id)
+	}
+	sort.Slice(placed, func(i, j int) bool { return placed[i] < placed[j] })
+	for _, id := range placed {
+		devs := res.Assignment[id]
 		j := s.active[id]
 		if j == nil {
 			return fmt.Errorf("core: placement returned unknown job %d", id)
@@ -459,7 +489,6 @@ func (s *Sim) runRound() error {
 	}
 
 	// Capacity accounting for utilization, net of failed servers.
-	capNow := st.CapacityByGen()
 	for g, c := range capNow {
 		s.capByGen[g] += float64(c) * s.cfg.Quantum
 	}
@@ -485,7 +514,10 @@ func (s *Sim) runRound() error {
 		j.NoteQuantum(ran)
 	}
 	sort.Slice(s.finished, func(i, j int) bool {
-		return s.finished[i].FinishTime() < s.finished[j].FinishTime()
+		if s.finished[i].FinishTime() != s.finished[j].FinishTime() {
+			return s.finished[i].FinishTime() < s.finished[j].FinishTime()
+		}
+		return s.finished[i].ID < s.finished[j].ID
 	})
 
 	// Next round's stability baseline: the latest placement of every
@@ -506,7 +538,7 @@ func (s *Sim) runRound() error {
 	s.prev = newPrev
 
 	s.policy.Executed(rep)
-	return nil
+	return s.aud.endRound()
 }
 
 // executeJob charges overheads and advances one job for the quantum.
@@ -569,11 +601,13 @@ func (s *Sim) executeJob(j *job.Job, gen gpu.Generation, devs []gpu.DeviceID, mi
 	s.busyByGen[gen] += gang * occupied
 	s.tl.Add(now, j.User, gang*occupied)
 
-	return RanInfo{
+	info := RanInfo{
 		User: j.User, Gen: gen, Gang: j.Gang,
 		OccupiedSecs: occupied, UsefulSecs: used,
 		Migrated: migrated, Finished: finished,
 	}
+	s.aud.noteExec(j, gen, info)
+	return info
 }
 
 func (s *Sim) addUsage(u job.UserID, g gpu.Generation, amount float64) {
@@ -674,5 +708,6 @@ func (s *Sim) result() *Result {
 		Log:              s.log,
 		Rounds:           s.rounds,
 		End:              s.clock.Now(),
+		Audit:            s.aud.report(),
 	}
 }

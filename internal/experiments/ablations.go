@@ -10,6 +10,7 @@ import (
 	"repro/internal/job"
 	"repro/internal/metrics"
 	"repro/internal/simclock"
+	"repro/internal/sweep"
 	"repro/internal/trade"
 	"repro/internal/workload"
 )
@@ -47,25 +48,32 @@ func a1PricePolicy(opt Options) (*Table, error) {
 		specs, _ = workload.AssignIDs(specs)
 		return specs
 	}
-	blind, err := runSim(core.Config{Cluster: cluster, Specs: build(), Seed: opt.Seed},
-		core.MustNewFairPolicy(core.FairConfig{}), horizon)
-	if err != nil {
-		return nil, err
-	}
 	t := &Table{
 		ID: "A1", Title: "Two-user trading gain by price policy",
 		Columns: []string{"price policy", "mem gain", "dense gain"},
 		Notes:   "seller-floor favors the buyer, buyer-ceiling the seller; geometric/midpoint split the surplus",
 	}
-	for _, pol := range []trade.PricePolicy{trade.Geometric, trade.Midpoint, trade.SellerFloor, trade.BuyerCeiling} {
-		res, err := runSim(core.Config{Cluster: cluster, Specs: build(), Seed: opt.Seed},
-			core.MustNewFairPolicy(core.FairConfig{
-				EnableTrading: true,
-				Trade:         trade.Config{Policy: pol},
-			}), horizon)
-		if err != nil {
-			return nil, err
-		}
+	pols := []trade.PricePolicy{trade.Geometric, trade.Midpoint, trade.SellerFloor, trade.BuyerCeiling}
+	points := []sweep.Point{point("a1/blind",
+		core.Config{Cluster: cluster, Specs: build(), Seed: opt.Seed},
+		func() core.Policy { return core.MustNewFairPolicy(core.FairConfig{}) }, horizon)}
+	for _, pol := range pols {
+		points = append(points, point("a1/"+pol.String(),
+			core.Config{Cluster: cluster, Specs: build(), Seed: opt.Seed},
+			func() core.Policy {
+				return core.MustNewFairPolicy(core.FairConfig{
+					EnableTrading: true,
+					Trade:         trade.Config{Policy: pol},
+				})
+			}, horizon))
+	}
+	results, err := runPoints(points)
+	if err != nil {
+		return nil, err
+	}
+	blind := results[0]
+	for i, pol := range pols {
+		res := results[i+1]
 		t.AddRow(pol.String(),
 			f2(res.ThroughputByUser["mem"]/blind.ThroughputByUser["mem"]),
 			f2(res.ThroughputByUser["dense"]/blind.ThroughputByUser["dense"]))
@@ -98,12 +106,19 @@ func a2QuantumSweep(opt Options) (*Table, error) {
 		Columns: []string{"quantum", "useful fraction", "max share err"},
 		Notes:   "minute-scale quanta keep overhead within a few percent while preserving fairness — the paper's operating point",
 	}
-	for _, q := range []simclock.Duration{60, 360, 1800} {
-		res, err := runSim(core.Config{Cluster: cluster, Specs: build(), Seed: opt.Seed, Quantum: q},
-			core.MustNewFairPolicy(core.FairConfig{}), horizon)
-		if err != nil {
-			return nil, err
-		}
+	quanta := []simclock.Duration{60, 360, 1800}
+	var points []sweep.Point
+	for _, q := range quanta {
+		points = append(points, point(fmt.Sprintf("a2/q=%.0fs", q),
+			core.Config{Cluster: cluster, Specs: build(), Seed: opt.Seed, Quantum: q},
+			func() core.Policy { return core.MustNewFairPolicy(core.FairConfig{}) }, horizon))
+	}
+	results, err := runPoints(points)
+	if err != nil {
+		return nil, err
+	}
+	for i, q := range quanta {
+		res := results[i]
 		var occupied, useful float64
 		for _, byGen := range res.UsageByUserGen {
 			for _, v := range byGen {
@@ -144,17 +159,23 @@ func a3NoiseSensitivity(opt Options) (*Table, error) {
 		Columns: []string{"noise", "mem gain", "dense gain", "trades"},
 		Notes:   "the 10% minimum speedup ratio absorbs realistic measurement noise; gains persist",
 	}
-	for _, noise := range []float64{0.01, 0.05, 0.15} {
-		blind, err := runSim(core.Config{Cluster: cluster, Specs: build(), Seed: opt.Seed, ProfilerNoise: noise},
-			core.MustNewFairPolicy(core.FairConfig{}), horizon)
-		if err != nil {
-			return nil, err
-		}
-		traded, err := runSim(core.Config{Cluster: cluster, Specs: build(), Seed: opt.Seed, ProfilerNoise: noise},
-			core.MustNewFairPolicy(core.FairConfig{EnableTrading: true}), horizon)
-		if err != nil {
-			return nil, err
-		}
+	noises := []float64{0.01, 0.05, 0.15}
+	var points []sweep.Point
+	for _, noise := range noises {
+		points = append(points,
+			point(fmt.Sprintf("a3/blind/noise=%.2f", noise),
+				core.Config{Cluster: cluster, Specs: build(), Seed: opt.Seed, ProfilerNoise: noise},
+				func() core.Policy { return core.MustNewFairPolicy(core.FairConfig{}) }, horizon),
+			point(fmt.Sprintf("a3/traded/noise=%.2f", noise),
+				core.Config{Cluster: cluster, Specs: build(), Seed: opt.Seed, ProfilerNoise: noise},
+				func() core.Policy { return core.MustNewFairPolicy(core.FairConfig{EnableTrading: true}) }, horizon))
+	}
+	results, err := runPoints(points)
+	if err != nil {
+		return nil, err
+	}
+	for i, noise := range noises {
+		blind, traded := results[2*i], results[2*i+1]
 		t.AddRow(pct(noise),
 			f2(traded.ThroughputByUser["mem"]/blind.ThroughputByUser["mem"]),
 			f2(traded.ThroughputByUser["dense"]/blind.ThroughputByUser["dense"]),
@@ -202,19 +223,23 @@ func a4FaultTolerance(opt Options) (*Table, error) {
 		Columns: []string{"failures", "finished", "mean JCT h", "p95 JCT h", "max share err", "migrations"},
 		Notes:   "checkpoint restart loses no work: every job completes and fairness holds; the JCT cost tracks the capacity lost to outages",
 	}
-	for _, inject := range []bool{false, true} {
+	labels := []string{"none", fmt.Sprintf("%d×2h", len(failures))}
+	var points []sweep.Point
+	for i, inject := range []bool{false, true} {
 		cfg := core.Config{Cluster: cluster, Specs: build(), Seed: opt.Seed}
-		label := "none"
 		if inject {
 			cfg.Failures = failures
-			label = fmt.Sprintf("%d×2h", len(failures))
 		}
-		res, err := runSim(cfg, core.MustNewFairPolicy(core.FairConfig{EnableTrading: true}), horizon)
-		if err != nil {
-			return nil, err
-		}
+		points = append(points, point("a4/failures="+labels[i], cfg,
+			func() core.Policy { return core.MustNewFairPolicy(core.FairConfig{EnableTrading: true}) }, horizon))
+	}
+	results, err := runPoints(points)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
 		st := metrics.Summarize(res.JCTs())
-		t.AddRow(label, fmt.Sprint(len(res.Finished)), f1(st.Mean/3600), f1(st.P95/3600),
+		t.AddRow(labels[i], fmt.Sprint(len(res.Finished)), f1(st.Mean/3600), f1(st.P95/3600),
 			pct(res.MaxShareError()), fmt.Sprint(res.Migrations))
 	}
 	return t, nil
@@ -223,7 +248,9 @@ func a4FaultTolerance(opt Options) (*Table, error) {
 // a5SchedulerScalability measures wall-clock cost per scheduling
 // round as the cluster (and proportional job population) grows —
 // the quantity that bounds how large a deployment one central
-// scheduler instance can drive at minute-scale quanta.
+// scheduler instance can drive at minute-scale quanta. It stays
+// serial on purpose: concurrent simulations would contend for cores
+// and corrupt the timing.
 func a5SchedulerScalability(opt Options) (*Table, error) {
 	opt = opt.withDefaults()
 	rounds := 40

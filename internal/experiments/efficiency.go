@@ -10,6 +10,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/migrate"
 	"repro/internal/simclock"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -198,19 +199,21 @@ func e09MigrationAblation(opt Options) (*Table, error) {
 		Notes: "pinned jobs keep their GPUs busy but cannot follow entitlements onto faster generations " +
 			"or defragment around gangs: mean JCT inflates ~25% with migration off",
 	}
-	for _, disabled := range []bool{false, true} {
-		res, err := runSim(core.Config{
-			Cluster: cluster, Specs: build(), Seed: opt.Seed, DisableMigration: disabled,
-		}, core.MustNewFairPolicy(core.FairConfig{EnableTrading: true}), horizon)
-		if err != nil {
-			return nil, err
-		}
+	var points []sweep.Point
+	labels := []string{"on", "off"}
+	for i, disabled := range []bool{false, true} {
+		points = append(points, point("e09/migration="+labels[i],
+			core.Config{Cluster: cluster, Specs: build(), Seed: opt.Seed, DisableMigration: disabled},
+			func() core.Policy { return core.MustNewFairPolicy(core.FairConfig{EnableTrading: true}) },
+			horizon))
+	}
+	results, err := runPoints(points)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
 		st := metrics.Summarize(res.JCTs())
-		label := "on"
-		if disabled {
-			label = "off"
-		}
-		t.AddRow(label, fmt.Sprint(len(res.Finished)), f1(st.Mean/3600), f1(st.P95/3600),
+		t.AddRow(labels[i], fmt.Sprint(len(res.Finished)), f1(st.Mean/3600), f1(st.P95/3600),
 			pct(res.Utilization.Fraction()), fmt.Sprint(res.Migrations))
 	}
 	return t, nil
@@ -236,18 +239,16 @@ func e10TradingWinWin(opt Options) (*Table, error) {
 		gpu.Spec{Gen: gpu.K80, Servers: 2, GPUsPerSrv: 4},
 		gpu.Spec{Gen: gpu.V100, Servers: 2, GPUsPerSrv: 4},
 	)
-	run := func(trading bool) (*core.Result, error) {
-		return runSim(core.Config{Cluster: cluster, Specs: build(), Seed: opt.Seed},
-			core.MustNewFairPolicy(core.FairConfig{EnableTrading: trading}), horizon)
-	}
-	blind, err := run(false)
+	results, err := runPoints([]sweep.Point{
+		point("e10/blind", core.Config{Cluster: cluster, Specs: build(), Seed: opt.Seed},
+			func() core.Policy { return core.MustNewFairPolicy(core.FairConfig{}) }, horizon),
+		point("e10/traded", core.Config{Cluster: cluster, Specs: build(), Seed: opt.Seed},
+			func() core.Policy { return core.MustNewFairPolicy(core.FairConfig{EnableTrading: true}) }, horizon),
+	})
 	if err != nil {
 		return nil, err
 	}
-	traded, err := run(true)
-	if err != nil {
-		return nil, err
-	}
+	blind, traded := results[0], results[1]
 	t := &Table{
 		ID: "E10", Title: "vae user vs resnext50 user on 8 K80 + 8 V100",
 		Columns: []string{"user", "minibatches (blind)", "minibatches (traded)", "gain"},
@@ -297,18 +298,16 @@ func e11TradingAtScale(opt Options) (*Table, error) {
 		})
 	}
 	cluster := gpu.Default200()
-	run := func(trading bool) (*core.Result, error) {
-		return runSim(core.Config{Cluster: cluster, Specs: build(), Seed: opt.Seed},
-			core.MustNewFairPolicy(core.FairConfig{EnableTrading: trading}), horizon)
-	}
-	blind, err := run(false)
+	results, err := runPoints([]sweep.Point{
+		point("e11/blind", core.Config{Cluster: cluster, Specs: build(), Seed: opt.Seed},
+			func() core.Policy { return core.MustNewFairPolicy(core.FairConfig{}) }, horizon),
+		point("e11/traded", core.Config{Cluster: cluster, Specs: build(), Seed: opt.Seed},
+			func() core.Policy { return core.MustNewFairPolicy(core.FairConfig{EnableTrading: true}) }, horizon),
+	})
 	if err != nil {
 		return nil, err
 	}
-	traded, err := run(true)
-	if err != nil {
-		return nil, err
-	}
+	blind, traded := results[0], results[1]
 	t := &Table{
 		ID: "E11", Title: "5 users with skewed model mixes on the 200-GPU cluster",
 		Columns: []string{"user", "progress gain from trading", "share (traded)"},
@@ -373,12 +372,16 @@ func e12EndToEnd(opt Options) (*Table, error) {
 		func() core.Policy { return baselines.NewStaticQuota(users) },
 		fifo,
 	}
-	for _, mk := range mks {
-		p := mk()
-		res, err := runSim(core.Config{Cluster: cluster, Specs: build(), Seed: opt.Seed}, p, horizon)
-		if err != nil {
-			return nil, err
-		}
+	var points []sweep.Point
+	for i, mk := range mks {
+		points = append(points, point(fmt.Sprintf("e12/%d", i),
+			core.Config{Cluster: cluster, Specs: build(), Seed: opt.Seed}, mk, horizon))
+	}
+	results, err := runPoints(points)
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
 		st := metrics.Summarize(res.JCTs())
 		sh := metrics.ShareFractions(res.TotalUsageByUser())
 		var vals []float64

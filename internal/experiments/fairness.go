@@ -9,6 +9,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/simclock"
 	"repro/internal/stride"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -53,20 +54,32 @@ func e01ModelSpeedups(opt Options) (*Table, error) {
 		Columns: []string{"model", "K80", "P40", "P100", "V100"},
 		Notes:   "memory-bound models gain ≈1.1–1.5× on V100; compute-dense gain 2–5×",
 	}
-	for _, perf := range zoo.Models() {
-		mb := make(map[gpu.Generation]float64)
-		for _, g := range gpu.Generations() {
+	models := zoo.Models()
+	gens := gpu.Generations()
+	var points []sweep.Point
+	for _, perf := range models {
+		for _, g := range gens {
 			cluster := gpu.MustNew(gpu.Spec{Gen: g, Servers: 1, GPUsPerSrv: 1})
 			specs := []job.Spec{{
 				ID: 1, User: "probe", Perf: perf, Gang: 1,
 				TotalMB: perf.RatePerGPU[g] * 1e7, // never finishes inside the horizon
 			}}
-			res, err := runSim(core.Config{Cluster: cluster, Specs: specs, Seed: opt.Seed},
-				core.MustNewFairPolicy(core.FairConfig{}), horizon)
-			if err != nil {
-				return nil, err
-			}
-			mb[g] = res.ThroughputByUser["probe"]
+			points = append(points, point(fmt.Sprintf("%s/%s", perf.Model, g),
+				core.Config{Cluster: cluster, Specs: specs, Seed: opt.Seed},
+				func() core.Policy { return core.MustNewFairPolicy(core.FairConfig{}) },
+				horizon))
+		}
+	}
+	results, err := runPoints(points)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, perf := range models {
+		mb := make(map[gpu.Generation]float64)
+		for _, g := range gens {
+			mb[g] = results[i].ThroughputByUser["probe"]
+			i++
 		}
 		base := mb[gpu.K80]
 		t.AddRow(perf.Model, f2(mb[gpu.K80]/base), f2(mb[gpu.P40]/base),
@@ -225,16 +238,19 @@ func e05UserFairness(opt Options) (*Table, error) {
 		Columns: []string{"policy", "many-small share", "few-big share", "ideal"},
 		Notes:   "Gandiva_fair holds 50/50; job-centric baselines hand the flooding user far more",
 	}
-	policies := []core.Policy{
-		core.MustNewFairPolicy(core.FairConfig{}),
-		tiresias(),
-		gandivaRR(),
+	var points []sweep.Point
+	for i, mk := range []func() core.Policy{
+		func() core.Policy { return core.MustNewFairPolicy(core.FairConfig{}) },
+		tiresias, gandivaRR,
+	} {
+		points = append(points, point(fmt.Sprintf("e05/%d", i),
+			core.Config{Cluster: cluster, Specs: build(), Seed: opt.Seed}, mk, horizon))
 	}
-	for _, p := range policies {
-		res, err := runSim(core.Config{Cluster: cluster, Specs: build(), Seed: opt.Seed}, p, horizon)
-		if err != nil {
-			return nil, err
-		}
+	results, err := runPoints(points)
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
 		sh := metrics.ShareFractions(res.TotalUsageByUser())
 		t.AddRow(res.Policy, pct(sh["many-small"]), pct(sh["few-big"]), "50.0%")
 	}
@@ -267,15 +283,19 @@ func e06VsBaselines(opt Options) (*Table, error) {
 		Notes: "water-filled entitlements are 12.5/25/31.25/31.25% (u1, u2 demand-capped); " +
 			"share error is measured against that reference",
 	}
-	for _, mk := range []func() core.Policy{
+	var points []sweep.Point
+	for i, mk := range []func() core.Policy{
 		func() core.Policy { return core.MustNewFairPolicy(core.FairConfig{}) },
 		tiresias, gandivaRR, fifo,
 	} {
-		p := mk()
-		res, err := runSim(core.Config{Cluster: cluster, Specs: build(), Seed: opt.Seed}, p, horizon)
-		if err != nil {
-			return nil, err
-		}
+		points = append(points, point(fmt.Sprintf("e06/%d", i),
+			core.Config{Cluster: cluster, Specs: build(), Seed: opt.Seed}, mk, horizon))
+	}
+	results, err := runPoints(points)
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
 		sh := metrics.ShareFractions(res.TotalUsageByUser())
 		t.AddRow(res.Policy, pct(sh["u1"]), pct(sh["u2"]), pct(sh["u3"]), pct(sh["u4"]),
 			pct(res.MaxShareError()))

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/simclock"
+	"repro/internal/sweep"
+)
+
+// point builds one sweep cell from the pieces experiments already
+// carry around: a config, a policy constructor, a horizon. The policy
+// is constructed inside the worker so each run owns its instance.
+func point(label string, cfg core.Config, mk func() core.Policy, horizon simclock.Time) sweep.Point {
+	return sweep.Point{
+		Label:   label,
+		Config:  cfg,
+		Policy:  func() (core.Policy, error) { return mk(), nil },
+		Horizon: horizon,
+	}
+}
+
+// runPoints fans the points across the sweep worker pool and unwraps
+// the results back into input order, failing on the first per-point
+// error. Experiments that used to run their policy/config loops
+// serially route through here, so a multi-policy table costs one
+// simulation of wall clock on a multi-core machine instead of the sum.
+func runPoints(points []sweep.Point) ([]*core.Result, error) {
+	out := make([]*core.Result, len(points))
+	for i, r := range sweep.Run(context.Background(), points, sweep.Options{}) {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		out[i] = r.Result
+	}
+	return out, nil
+}

@@ -48,6 +48,7 @@ func Compute(tickets, demand map[job.UserID]float64, capacity float64) map[job.U
 	sort.Slice(active, func(i, j int) bool { return active[i].id < active[j].id })
 
 	remaining := capacity
+	used := 0.0
 	for len(active) > 0 && remaining > eps {
 		var ticketSum float64
 		for _, u := range active {
@@ -61,6 +62,7 @@ func Compute(tickets, demand map[job.UserID]float64, capacity float64) map[job.U
 			slice := remaining * u.t / ticketSum
 			if u.d <= slice+eps {
 				shares[u.id] += u.d
+				used += u.d
 				capped = true
 			} else {
 				next = append(next, u)
@@ -74,11 +76,11 @@ func Compute(tickets, demand map[job.UserID]float64, capacity float64) map[job.U
 			remaining = 0
 			break
 		}
-		// Recompute remaining after finalizing capped users.
-		used := 0.0
-		for _, s := range shares {
-			used += s
-		}
+		// Recompute remaining after finalizing capped users. used is
+		// accumulated in the deterministic finalization order — summing
+		// the shares map here would make the float rounding (and hence
+		// the whole simulation trajectory) depend on map iteration
+		// order, which changes between processes.
 		remaining = capacity - used
 		active = next
 	}
@@ -108,11 +110,13 @@ func SplitByGen(total float64, capacities map[gpu.Generation]int) map[gpu.Genera
 // round, in (fractional) GPUs.
 type Entitlement map[gpu.Generation]float64
 
-// Total sums the entitlement across generations.
+// Total sums the entitlement across generations. Generations are
+// visited in fixed order so the float rounding is identical across
+// processes regardless of map layout.
 func (e Entitlement) Total() float64 {
 	var s float64
-	for _, v := range e {
-		s += v
+	for _, g := range gpu.Generations() {
+		s += e[g]
 	}
 	return s
 }
@@ -138,12 +142,21 @@ func (a Allocation) Clone() Allocation {
 	return out
 }
 
-// TotalByGen sums entitlements per generation across users.
+// TotalByGen sums entitlements per generation across users. Users are
+// visited in sorted order so the float rounding is identical across
+// processes regardless of map layout.
 func (a Allocation) TotalByGen() map[gpu.Generation]float64 {
+	users := make([]job.UserID, 0, len(a))
+	for u := range a {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
 	out := make(map[gpu.Generation]float64)
-	for _, e := range a {
-		for g, v := range e {
-			out[g] += v
+	for _, u := range users {
+		for _, g := range gpu.Generations() {
+			if v, ok := a[u][g]; ok {
+				out[g] += v
+			}
 		}
 	}
 	return out

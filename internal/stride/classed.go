@@ -157,6 +157,7 @@ func waterfillClasses(tickets, demand map[int]float64, capacity float64) map[int
 	}
 	sort.Slice(active, func(i, j int) bool { return active[i].g < active[j].g })
 	remaining := capacity
+	used := 0.0
 	for len(active) > 0 && remaining > 1e-9 {
 		var tsum float64
 		for _, c := range active {
@@ -167,6 +168,7 @@ func waterfillClasses(tickets, demand map[int]float64, capacity float64) map[int
 		for _, c := range active {
 			if slice := remaining * c.t / tsum; c.d <= slice+1e-9 {
 				out[c.g] += c.d
+				used += c.d
 				capped = true
 			} else {
 				next = append(next, c)
@@ -178,10 +180,9 @@ func waterfillClasses(tickets, demand map[int]float64, capacity float64) map[int
 			}
 			return out
 		}
-		var used float64
-		for _, v := range out {
-			used += v
-		}
+		// used accumulates in deterministic finalization order; summing
+		// the out map here would tie the float rounding to map
+		// iteration order, which varies between processes.
 		remaining = capacity - used
 		active = next
 	}

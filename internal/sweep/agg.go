@@ -1,0 +1,190 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Dist summarizes a sample with the quantiles the sweep reports.
+type Dist struct {
+	N                        int
+	Mean, P50, P99, Min, Max float64
+}
+
+// DistOf computes a Dist over xs (not modified). Empty input returns
+// the zero Dist.
+func DistOf(xs []float64) Dist {
+	if len(xs) == 0 {
+		return Dist{}
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	var sum float64
+	for _, x := range s {
+		sum += x
+	}
+	return Dist{
+		N:    len(s),
+		Mean: sum / float64(len(s)),
+		P50:  quantile(s, 0.5),
+		P99:  quantile(s, 0.99),
+		Min:  s[0],
+		Max:  s[len(s)-1],
+	}
+}
+
+// quantile interpolates the q-quantile of sorted data.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// GroupSummary aggregates every successful run of one group (usually:
+// one policy across seeds).
+type GroupSummary struct {
+	Group  string
+	Runs   int // successful runs
+	Errors int // failed runs (config, engine, audit, panic)
+
+	// JCT pools every finished job's completion time across the
+	// group's runs, in seconds.
+	JCT Dist
+
+	// FinishedJobs, MaxShareError, Utilization, Migrations and Trades
+	// are distributions of per-run scalars across seeds.
+	FinishedJobs  Dist
+	MaxShareError Dist
+	Utilization   Dist
+	Migrations    Dist
+	Trades        Dist
+
+	// AuditViolations totals invariant violations across runs (always
+	// zero under strict audit, which fails the run instead). Audited
+	// counts the runs that produced an audit report at all, so "no
+	// violations" can be told apart from "auditing was off".
+	AuditViolations int
+	Audited         int
+}
+
+// Summary is the aggregate of a whole sweep, one entry per group in
+// first-appearance order.
+type Summary struct {
+	Groups []GroupSummary
+}
+
+// Summarize aggregates raw sweep results by group.
+func Summarize(results []RunResult) *Summary {
+	type acc struct {
+		g                                       GroupSummary
+		jcts, fin, shareErr, util, migs, trades []float64
+	}
+	var order []string
+	accs := make(map[string]*acc)
+	for _, r := range results {
+		a := accs[r.Group]
+		if a == nil {
+			a = &acc{g: GroupSummary{Group: r.Group}}
+			accs[r.Group] = a
+			order = append(order, r.Group)
+		}
+		if r.Err != nil {
+			a.g.Errors++
+			continue
+		}
+		res := r.Result
+		a.g.Runs++
+		a.jcts = append(a.jcts, res.JCTs()...)
+		a.fin = append(a.fin, float64(len(res.Finished)))
+		a.shareErr = append(a.shareErr, res.MaxShareError())
+		a.util = append(a.util, res.Utilization.Fraction())
+		a.migs = append(a.migs, float64(res.Migrations))
+		a.trades = append(a.trades, float64(res.TradeCount))
+		if res.Audit != nil {
+			a.g.Audited++
+			a.g.AuditViolations += res.Audit.Total()
+		}
+	}
+	s := &Summary{}
+	for _, name := range order {
+		a := accs[name]
+		a.g.JCT = DistOf(a.jcts)
+		a.g.FinishedJobs = DistOf(a.fin)
+		a.g.MaxShareError = DistOf(a.shareErr)
+		a.g.Utilization = DistOf(a.util)
+		a.g.Migrations = DistOf(a.migs)
+		a.g.Trades = DistOf(a.trades)
+		s.Groups = append(s.Groups, a.g)
+	}
+	return s
+}
+
+// Render writes the summary as an aligned text table, one row per
+// group. JCT statistics are in hours.
+func (s *Summary) Render(w io.Writer) error {
+	cols := []string{"group", "runs", "errs", "finished", "JCT mean h", "JCT p50 h", "JCT p99 h", "share err", "util", "audit"}
+	rows := [][]string{cols}
+	for _, g := range s.Groups {
+		audit := "clean"
+		switch {
+		case g.AuditViolations > 0:
+			audit = fmt.Sprintf("%d VIOL", g.AuditViolations)
+		case g.Audited == 0:
+			audit = "-"
+		}
+		rows = append(rows, []string{
+			g.Group,
+			fmt.Sprint(g.Runs),
+			fmt.Sprint(g.Errors),
+			fmt.Sprintf("%.1f", g.FinishedJobs.Mean),
+			fmt.Sprintf("%.2f", g.JCT.Mean/3600),
+			fmt.Sprintf("%.2f", g.JCT.P50/3600),
+			fmt.Sprintf("%.2f", g.JCT.P99/3600),
+			fmt.Sprintf("%.1f%%", 100*g.MaxShareError.Mean),
+			fmt.Sprintf("%.1f%%", 100*g.Utilization.Mean),
+			audit,
+		})
+	}
+	widths := make([]int, len(cols))
+	for _, row := range rows {
+		for i, c := range row {
+			if n := len([]rune(c)); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len([]rune(c))))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(rows[0])
+	sep := make([]string, len(cols))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows[1:] {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

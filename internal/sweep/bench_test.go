@@ -1,0 +1,49 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// benchPoints is sized so one iteration runs 8 independent
+// simulations; with >1 core the parallel benchmark should approach
+// workers× the serial throughput (≥2× on 4 cores).
+func benchPoints(b *testing.B) []Point {
+	points := testPoints(8)
+	// Warm once so the benchmark measures simulation, not lazy init.
+	r := runOne(context.Background(), 0, points[0])
+	if r.Err != nil {
+		b.Fatal(r.Err)
+	}
+	return points
+}
+
+func benchmarkRun(b *testing.B, workers int) {
+	points := benchPoints(b)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		results := Run(context.Background(), points, Options{Workers: workers})
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkRun compares the same 8-point sweep at 1 worker vs
+// GOMAXPROCS workers. Compare ns/op between the two sub-benchmarks:
+//
+//	go test -bench 'Run/' -benchtime 3x ./internal/sweep
+//
+// On a 4-core machine workers=max should be ≥2× faster than
+// workers=1 (simulation points are fully independent, so the only
+// overheads are channel dispatch and the final tail latency).
+func BenchmarkRun(b *testing.B) {
+	b.Run("workers=1", func(b *testing.B) { benchmarkRun(b, 1) })
+	b.Run(fmt.Sprintf("workers=%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		benchmarkRun(b, runtime.GOMAXPROCS(0))
+	})
+}

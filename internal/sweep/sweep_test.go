@@ -1,0 +1,241 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/job"
+	"repro/internal/simclock"
+	"repro/internal/workload"
+)
+
+// testPoints builds n small, mutually independent points: two users on
+// one 4-GPU K80 server, distinct seeds, strict audit.
+func testPoints(n int) []Point {
+	zoo := workload.DefaultZoo()
+	points := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		seed := int64(i + 1)
+		specs := workload.MustGenerate(zoo, workload.Config{
+			Seed: seed,
+			Users: []workload.UserSpec{
+				{User: "a", NumJobs: 4, MeanK80Hours: 1, GangDist: []workload.GangWeight{{Gang: 1, Weight: 1}}},
+				{User: "b", NumJobs: 4, MeanK80Hours: 1, GangDist: []workload.GangWeight{{Gang: 1, Weight: 1}}},
+			},
+			MaxK80Hours: 3,
+		})
+		points = append(points, Point{
+			Label: fmt.Sprintf("fair/seed=%d", seed),
+			Group: "fair",
+			Config: core.Config{
+				Cluster: gpu.MustNew(gpu.Spec{Gen: gpu.K80, Servers: 1, GPUsPerSrv: 4}),
+				Specs:   specs,
+				Seed:    seed,
+			},
+			Policy:  func() (core.Policy, error) { return core.NewFairPolicy(core.FairConfig{}) },
+			Horizon: simclock.Time(12 * simclock.Hour),
+		})
+	}
+	return points
+}
+
+// TestRunDeterministicOrdering checks that results come back in point
+// order with identical contents regardless of worker count.
+func TestRunDeterministicOrdering(t *testing.T) {
+	points := testPoints(6)
+	serial := Run(context.Background(), points, Options{Workers: 1})
+	parallel := Run(context.Background(), points, Options{Workers: 4})
+	if len(serial) != len(points) || len(parallel) != len(points) {
+		t.Fatalf("result lengths %d/%d, want %d", len(serial), len(parallel), len(points))
+	}
+	for i := range points {
+		s, p := serial[i], parallel[i]
+		if s.Err != nil || p.Err != nil {
+			t.Fatalf("point %d errored: serial=%v parallel=%v", i, s.Err, p.Err)
+		}
+		if s.Index != i || p.Index != i || s.Label != points[i].Label {
+			t.Fatalf("point %d out of order: serial index %d label %q", i, s.Index, s.Label)
+		}
+		if s.Result.Rounds != p.Result.Rounds ||
+			len(s.Result.Finished) != len(p.Result.Finished) ||
+			math.Abs(s.Result.MaxShareError()-p.Result.MaxShareError()) > 1e-12 ||
+			math.Abs(s.Result.Utilization.Fraction()-p.Result.Utilization.Fraction()) > 1e-12 {
+			t.Errorf("point %d diverges between worker counts", i)
+		}
+		if s.Result.Audit == nil || !s.Result.Audit.Clean() {
+			t.Errorf("point %d audit not clean: %v", i, s.Result.Audit)
+		}
+	}
+}
+
+// panicPolicy blows up in Decide to exercise panic capture.
+type panicPolicy struct{}
+
+func (panicPolicy) Name() string                          { return "panic" }
+func (panicPolicy) Decide(*core.RoundState) core.Decision { panic("boom") }
+func (panicPolicy) Executed(*core.ExecReport)             {}
+func (panicPolicy) JobFinished(job.ID)                    {}
+
+func TestRunCapturesPanics(t *testing.T) {
+	points := testPoints(3)
+	points[1].Policy = func() (core.Policy, error) { return panicPolicy{}, nil }
+	points[1].Label = "panics"
+	results := Run(context.Background(), points, Options{Workers: 2})
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("healthy points failed: %v / %v", results[0].Err, results[2].Err)
+	}
+	if results[1].Err == nil || !strings.Contains(results[1].Err.Error(), "panicked: boom") {
+		t.Fatalf("panic not captured: %v", results[1].Err)
+	}
+	if results[1].Result != nil {
+		t.Fatal("panicked point returned a result")
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results := Run(ctx, testPoints(4), Options{Workers: 2})
+	for i, r := range results {
+		if r.Err == nil {
+			t.Errorf("point %d ran despite cancelled context", i)
+		}
+	}
+}
+
+func TestRunErrorIsolation(t *testing.T) {
+	points := testPoints(3)
+	points[0].Config.Cluster = nil // invalid config
+	points[2].Policy = nil         // missing factory
+	results := Run(context.Background(), points, Options{})
+	if results[0].Err == nil || results[2].Err == nil {
+		t.Fatal("invalid points did not error")
+	}
+	if results[1].Err != nil {
+		t.Fatalf("valid point failed: %v", results[1].Err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	points := testPoints(5)
+	points = append(points, Point{Label: "broken", Group: "broken"}) // no policy
+	results := Run(context.Background(), points, Options{})
+	sum := Summarize(results)
+	if len(sum.Groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(sum.Groups))
+	}
+	fair := sum.Groups[0]
+	if fair.Group != "fair" || fair.Runs != 5 || fair.Errors != 0 {
+		t.Fatalf("fair group = %+v", fair)
+	}
+	if fair.JCT.N == 0 || fair.JCT.Mean <= 0 || fair.JCT.P50 > fair.JCT.P99 {
+		t.Errorf("JCT dist malformed: %+v", fair.JCT)
+	}
+	if fair.Utilization.Mean <= 0 || fair.Utilization.Mean > 1 {
+		t.Errorf("utilization mean %v outside (0,1]", fair.Utilization.Mean)
+	}
+	if fair.AuditViolations != 0 {
+		t.Errorf("audit violations = %d", fair.AuditViolations)
+	}
+	broken := sum.Groups[1]
+	if broken.Group != "broken" || broken.Errors != 1 || broken.Runs != 0 {
+		t.Fatalf("broken group = %+v", broken)
+	}
+	var b strings.Builder
+	if err := sum.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "fair") || !strings.Contains(out, "clean") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+}
+
+func TestDistOf(t *testing.T) {
+	if d := DistOf(nil); d.N != 0 || d.Mean != 0 {
+		t.Errorf("empty dist = %+v", d)
+	}
+	d := DistOf([]float64{4})
+	if d.N != 1 || d.Mean != 4 || d.P50 != 4 || d.P99 != 4 || d.Min != 4 || d.Max != 4 {
+		t.Errorf("singleton dist = %+v", d)
+	}
+	d = DistOf([]float64{3, 1, 2})
+	if d.N != 3 || math.Abs(d.Mean-2) > 1e-12 || d.P50 != 2 || d.Min != 1 || d.Max != 3 {
+		t.Errorf("dist = %+v", d)
+	}
+	if d.P99 < d.P50 || d.P99 > d.Max {
+		t.Errorf("p99 %v outside [p50, max]", d.P99)
+	}
+}
+
+func TestGridPoints(t *testing.T) {
+	gridJSON := `{
+		"scenario": {
+			"cluster": [{"gen": "K80", "servers": 1, "gpus_per_server": 4}],
+			"users": [
+				{"name": "a", "jobs": 4, "mean_k80_hours": 1, "gangs": [{"gang": 1, "weight": 1}]},
+				{"name": "b", "jobs": 4, "mean_k80_hours": 1, "gangs": [{"gang": 1, "weight": 1}]}
+			],
+			"horizon_hours": 8
+		},
+		"policies": ["gandiva-fair", "tiresias", "fifo"],
+		"seeds": [1, 2, 3, 4, 5]
+	}`
+	grid, err := LoadGrid(strings.NewReader(gridJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := grid.Points(core.AuditStrict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 15 {
+		t.Fatalf("points = %d, want 3 policies × 5 seeds = 15", len(points))
+	}
+	if points[0].Group != "gandiva-fair-no-trade" || points[5].Group != "tiresias-l" {
+		t.Errorf("groups = %q, %q", points[0].Group, points[5].Group)
+	}
+	if points[0].Config.Seed != 1 || points[4].Config.Seed != 5 {
+		t.Errorf("seeds not threaded: %d, %d", points[0].Config.Seed, points[4].Config.Seed)
+	}
+	results := Run(context.Background(), points, Options{})
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Label, r.Err)
+		}
+	}
+	sum := Summarize(results)
+	if len(sum.Groups) != 3 {
+		t.Fatalf("summary groups = %d, want 3", len(sum.Groups))
+	}
+	for _, g := range sum.Groups {
+		if g.Runs != 5 {
+			t.Errorf("group %s runs = %d, want 5", g.Group, g.Runs)
+		}
+	}
+}
+
+func TestGridRejectsUnknownFieldsAndBadPolicies(t *testing.T) {
+	if _, err := LoadGrid(strings.NewReader(`{"nope": 1}`)); err == nil {
+		t.Error("unknown top-level field accepted")
+	}
+	grid, err := LoadGrid(strings.NewReader(`{
+		"scenario": {
+			"users": [{"name": "a", "jobs": 1}],
+			"horizon_hours": 1
+		},
+		"policies": ["no-such-policy"],
+		"seeds": [1]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := grid.Points(core.AuditStrict); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}

@@ -259,14 +259,21 @@ func bestTrade(alloc fairshare.Allocation, vals Values, demands map[job.UserID]f
 	// δ bounded by the seller's fast holding and the buyer's slow
 	// purse at rate α.
 	delta := math.Min(alloc[s.u][fast], alloc[b.u][slow]/alpha)
-	// The seller's total grows by (α−1)·δ; cap it at the seller's
-	// spare demand so the gain is realizable as throughput.
-	if demands != nil && alpha > 1 {
-		spare := demands[s.u] - alloc[s.u].Total()
+	// One side's total GPU count grows: the seller's by (α−1)·δ when
+	// α > 1, the buyer's by (1−α)·δ when α < 1 (possible only with
+	// non-monotone valuations). Cap δ at the growing side's spare
+	// demand so the gain is realizable as throughput.
+	if demands != nil && alpha != 1 {
+		grower := s.u
+		rate := alpha - 1
+		if alpha < 1 {
+			grower, rate = b.u, 1-alpha
+		}
+		spare := demands[grower] - alloc[grower].Total()
 		if spare < 0 {
 			spare = 0
 		}
-		if lim := spare / (alpha - 1); lim < delta {
+		if lim := spare / rate; lim < delta {
 			delta = lim
 		}
 	}

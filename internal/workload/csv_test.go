@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/job"
 )
 
 func TestCSVRoundTrip(t *testing.T) {
@@ -65,5 +67,42 @@ func TestReadCSVMinimal(t *testing.T) {
 	if s.ID != 7 || s.User != "alice" || s.Perf.Model != "resnet50" ||
 		s.Gang != 2 || s.TotalMB != 3600 || s.Arrival != 120.5 {
 		t.Fatalf("parsed %+v", s)
+	}
+}
+
+// TestWriteCSVGoldenRoundTrip pins the exact serialized bytes —
+// including a non-ASCII user ID and a zero arrival time — then parses
+// them back and requires spec equality. Any format drift (header
+// order, float formatting, quoting) breaks this test on purpose:
+// traces on disk must stay readable by future versions.
+func TestWriteCSVGoldenRoundTrip(t *testing.T) {
+	z := DefaultZoo()
+	specs := []job.Spec{
+		{ID: 1, User: "björk-研究室", Perf: z.MustGet("vae"), Gang: 1, TotalMB: 1000, Arrival: 0},
+		{ID: 2, User: "ω-lab", Perf: z.MustGet("resnet50"), Gang: 4, TotalMB: 2.5e6, Arrival: 7200},
+		{ID: 3, User: "plain", Perf: z.MustGet("gru"), Gang: 2, TotalMB: 360.25, Arrival: 90.5},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, specs); err != nil {
+		t.Fatal(err)
+	}
+	golden := "id,user,model,gang,total_minibatches,arrival_seconds\n" +
+		"1,björk-研究室,vae,1,1000,0\n" +
+		"2,ω-lab,resnet50,4,2.5e+06,7200\n" +
+		"3,plain,gru,2,360.25,90.5\n"
+	if buf.String() != golden {
+		t.Fatalf("serialized bytes drifted:\n got: %q\nwant: %q", buf.String(), golden)
+	}
+	got, err := ReadCSV(bytes.NewReader(buf.Bytes()), z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(specs) {
+		t.Fatalf("round-trip returned %d specs, want %d", len(got), len(specs))
+	}
+	for i := range specs {
+		if got[i] != specs[i] {
+			t.Errorf("spec %d: %+v → %+v", i, specs[i], got[i])
+		}
 	}
 }
