@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Smoke test for the live observability surface: start a real gfdist
+# central + agent deployment with -http, then assert that /healthz
+# answers, /metrics is Prometheus text containing the per-phase round
+# histograms and per-user share gauges, and /debug/sched returns the
+# explained-decision JSON.
+set -euo pipefail
+
+HTTP=127.0.0.1:9191
+LISTEN=127.0.0.1:7171
+cd "$(dirname "$0")/.."
+
+go build -o /tmp/gfdist ./cmd/gfdist
+
+cleanup() {
+  kill "${CENTRAL_PID:-}" "${AGENT_PID:-}" 2>/dev/null || true
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+# A deliberately long workload so the deployment is still running
+# (and scrapeable) while we probe; cleanup kills it.
+/tmp/gfdist central -listen "$LISTEN" -agents 1 -users 2 -jobs 200 \
+  -mean-hours 4 -rounds 1000000 -http "$HTTP" &
+CENTRAL_PID=$!
+
+# /healthz must answer while the central is still waiting for agents.
+for i in $(seq 1 50); do
+  if curl -fsS "http://$HTTP/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.2
+done
+curl -fsS "http://$HTTP/healthz" | grep -q ok
+echo "healthz: ok"
+
+# Phase histogram series are pre-registered, so /metrics must already
+# carry them before any round has run.
+METRICS=$(curl -fsS "http://$HTTP/metrics")
+echo "$METRICS" | grep -q '^# TYPE gf_round_phase_seconds histogram'
+echo "$METRICS" | grep -q 'gf_round_phase_seconds_bucket{phase="decide",le="0.001"}'
+echo "metrics: phase histograms present before first round"
+
+/tmp/gfdist agent -connect "$LISTEN" -name agent-0 -gen V100 -gpus 4 &
+AGENT_PID=$!
+
+# Wait for scheduling to make progress; keep the scrape that saw it.
+ROUNDS=0
+for i in $(seq 1 100); do
+  METRICS=$(curl -fsS "http://$HTTP/metrics")
+  ROUNDS=$(echo "$METRICS" | awk '/^gf_rounds_total/ {print $2}')
+  if [ "${ROUNDS:-0}" != "0" ] && [ -n "${ROUNDS:-}" ]; then break; fi
+  sleep 0.2
+done
+[ "${ROUNDS:-0}" != "0" ] || { echo "no rounds completed"; exit 1; }
+echo "$METRICS" | grep -q 'gf_round_phase_seconds_count{phase="dispatch"}'
+echo "$METRICS" | grep -q 'gf_user_usage_fraction{user="user01"}'
+echo "$METRICS" | grep -q 'gf_protocol_events_total{event="plan_sent"}'
+echo "metrics: live series present after $ROUNDS rounds"
+
+SCHED=$(curl -fsS "http://$HTTP/debug/sched")
+echo "$SCHED" | grep -q '"decisions"'
+echo "$SCHED" | grep -q '"reason"'
+echo "debug/sched: explained decisions present"
+
+echo "obs smoke test passed"

@@ -22,12 +22,22 @@ import (
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "", "comma-separated experiment IDs (empty = all)")
-		quick   = flag.Bool("quick", false, "shorter horizons")
-		seed    = flag.Int64("seed", 42, "deterministic seed")
-		list    = flag.Bool("list", false, "list experiments and exit")
+		expFlag  = flag.String("exp", "", "comma-separated experiment IDs (empty = all)")
+		quick    = flag.Bool("quick", false, "shorter horizons")
+		seed     = flag.Int64("seed", 42, "deterministic seed")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		obsBench = flag.Bool("obs-bench", false, "benchmark the round loop with instrumentation off vs on and write BENCH_obs.json")
+		obsOut   = flag.String("obs-bench-out", "BENCH_obs.json", "output path for -obs-bench")
 	)
 	flag.Parse()
+
+	if *obsBench {
+		if err := runObsBench(*obsOut, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

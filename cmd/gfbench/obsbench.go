@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/obs"
+	"repro/internal/simclock"
+	"repro/internal/workload"
+)
+
+// obsBenchResult is the machine-readable instrumentation-overhead
+// report (BENCH_obs.json): the cost of one scheduler round with and
+// without an observer attached, on a fixed mid-size scenario.
+type obsBenchResult struct {
+	Scenario       string   `json:"scenario"`
+	Seed           int64    `json:"seed"`
+	Rounds         int      `json:"rounds_per_run"`
+	Uninstrumented benchRow `json:"uninstrumented"`
+	Instrumented   benchRow `json:"instrumented"`
+	// OverheadNsPerRound is instrumented minus uninstrumented; small
+	// negatives mean the overhead is below measurement noise.
+	OverheadNsPerRound float64 `json:"overhead_ns_per_round"`
+}
+
+type benchRow struct {
+	Iterations     int     `json:"iterations"`
+	NsPerRound     float64 `json:"ns_per_round"`
+	AllocsPerRound float64 `json:"allocs_per_round"`
+}
+
+// runObsBench benchmarks the round loop with the observer off and on
+// and writes the comparison to path as JSON.
+func runObsBench(path string, seed int64) error {
+	cluster, err := gpu.New(
+		gpu.Spec{Gen: gpu.K80, Servers: 4, GPUsPerSrv: 4},
+		gpu.Spec{Gen: gpu.V100, Servers: 4, GPUsPerSrv: 4},
+	)
+	if err != nil {
+		return err
+	}
+	zoo := workload.DefaultZoo()
+	specs, err := workload.Generate(zoo, workload.Config{
+		Seed: seed,
+		Users: []workload.UserSpec{
+			{User: "a", NumJobs: 10, MeanK80Hours: 2},
+			{User: "b", NumJobs: 10, MeanK80Hours: 2},
+			{User: "c", NumJobs: 10, MeanK80Hours: 2},
+			{User: "d", NumJobs: 10, MeanK80Hours: 2},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	horizon := simclock.Time(24 * simclock.Hour)
+
+	runSim := func(o *obs.Observer) (*core.Result, error) {
+		sim, err := core.New(core.Config{
+			Cluster: cluster, Specs: specs, Seed: seed, Obs: o,
+		}, core.MustNewFairPolicy(core.FairConfig{EnableTrading: true}))
+		if err != nil {
+			return nil, err
+		}
+		return sim.Run(horizon)
+	}
+
+	// One calibration run for the round count (fixed seed: identical
+	// across iterations and instrumentation settings by design).
+	calib, err := runSim(nil)
+	if err != nil {
+		return err
+	}
+	rounds := calib.Rounds
+	if rounds == 0 {
+		return fmt.Errorf("obs-bench: calibration run made no rounds")
+	}
+
+	measure := func(instrumented bool) benchRow {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var o *obs.Observer
+				if instrumented {
+					o = obs.New()
+				}
+				if _, err := runSim(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return benchRow{
+			Iterations:     r.N,
+			NsPerRound:     float64(r.NsPerOp()) / float64(rounds),
+			AllocsPerRound: float64(r.AllocsPerOp()) / float64(rounds),
+		}
+	}
+
+	off := measure(false)
+	on := measure(true)
+	out := obsBenchResult{
+		Scenario: fmt.Sprintf("4 users × 10 jobs, %d GPUs (K80+V100), trading on, %d rounds",
+			cluster.NumDevices(), rounds),
+		Seed:               seed,
+		Rounds:             rounds,
+		Uninstrumented:     off,
+		Instrumented:       on,
+		OverheadNsPerRound: on.NsPerRound - off.NsPerRound,
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	fmt.Printf("obs-bench: %.0f ns/round off, %.0f ns/round on (%.0f allocs/round off, %.0f on) → %s\n",
+		off.NsPerRound, on.NsPerRound, off.AllocsPerRound, on.AllocsPerRound, path)
+	return nil
+}

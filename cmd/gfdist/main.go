@@ -27,6 +27,7 @@ import (
 	"repro/internal/distrib"
 	"repro/internal/gpu"
 	"repro/internal/job"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -46,7 +47,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  gfdist central -listen ADDR -agents N [-users N -jobs N -hours H -no-trading]
+  gfdist central -listen ADDR -agents N [-users N -jobs N -hours H -no-trading] [-http ADDR]
   gfdist agent   -connect ADDR -name NAME -gen GEN -gpus N`)
 	os.Exit(2)
 }
@@ -64,8 +65,22 @@ func runCentral(args []string) {
 		seed      = fs.Int64("seed", 1, "deterministic workload seed")
 		noTrading = fs.Bool("no-trading", false, "disable resource trading")
 		waitSecs  = fs.Int("wait", 60, "seconds to wait for agent registration")
+		httpAddr  = fs.String("http", "", "serve /metrics, /healthz, /debug/sched on this address (e.g. :9090)")
 	)
 	fs.Parse(args)
+
+	// The introspection server starts before agents register so
+	// operators (and the CI smoke test) can scrape from the first
+	// moment; phase histogram series exist from construction.
+	var observer *obs.Observer
+	if *httpAddr != "" {
+		observer = obs.New()
+		_, bound, err := obs.Serve(*httpAddr, observer)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "observability on http://%s (/metrics /healthz /debug/sched)\n", bound)
+	}
 
 	srv, err := comm.ListenTCP("central", *listen)
 	if err != nil {
@@ -101,6 +116,7 @@ func runCentral(args []string) {
 	central, err := distrib.NewCentral(srv, policy, distrib.CentralConfig{
 		Specs:   specs,
 		Quantum: *quantum,
+		Obs:     observer,
 	})
 	if err != nil {
 		fatal(err)

@@ -23,6 +23,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/job"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/simclock"
 	"repro/internal/workload"
@@ -42,13 +43,19 @@ func main() {
 		seed       = flag.Int64("seed", 1, "deterministic seed")
 		noMigrate  = flag.Bool("no-migration", false, "pin jobs to their first servers")
 		traceOut   = flag.String("trace-out", "", "write the event trace to this file (.csv or .json)")
+		traceCap   = flag.Int("trace-cap", 0, "keep only the newest N trace events (0 = unbounded)")
 		jobsIn     = flag.String("jobs-in", "", "load the job trace from this CSV (as written by gftrace) instead of generating one")
 		scenarioIn = flag.String("scenario", "", "load the ENTIRE scenario (cluster, users, policy, failures) from this JSON file; other flags are ignored")
+		httpAddr   = flag.String("http", "", "serve /metrics, /healthz, /debug/sched on this address while the simulation runs")
 	)
 	flag.Parse()
 
+	// Observability never touches stdout: the report must stay
+	// byte-identical with and without -http (determinism guarantee).
+	observer := startObs(*httpAddr)
+
 	if *scenarioIn != "" {
-		runScenario(*scenarioIn, *traceOut)
+		runScenario(*scenarioIn, *traceOut, *traceCap, observer)
 		return
 	}
 
@@ -109,6 +116,8 @@ func main() {
 		Quantum:          *quantum,
 		Seed:             *seed,
 		DisableMigration: *noMigrate,
+		TraceCap:         *traceCap,
+		Obs:              observer,
 	}, policy)
 	if err != nil {
 		fatal(err)
@@ -118,6 +127,7 @@ func main() {
 		fatal(err)
 	}
 	report(res, userIDs)
+	reportPhases(res)
 
 	if *traceOut != "" {
 		if err := writeTrace(res, *traceOut); err != nil {
@@ -127,8 +137,23 @@ func main() {
 	}
 }
 
+// startObs attaches the HTTP introspection surface when requested.
+// All its output goes to stderr so stdout stays byte-identical.
+func startObs(addr string) *obs.Observer {
+	if addr == "" {
+		return nil
+	}
+	o := obs.New()
+	_, bound, err := obs.Serve(addr, o)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "observability on http://%s (/metrics /healthz /debug/sched)\n", bound)
+	return o
+}
+
 // runScenario executes a JSON scenario file end to end.
-func runScenario(path, traceOut string) {
+func runScenario(path, traceOut string, traceCap int, observer *obs.Observer) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal(err)
@@ -142,6 +167,8 @@ func runScenario(path, traceOut string) {
 	if err != nil {
 		fatal(err)
 	}
+	cfg.TraceCap = traceCap
+	cfg.Obs = observer
 	sim, err := core.New(cfg, policy)
 	if err != nil {
 		fatal(err)
@@ -159,6 +186,7 @@ func runScenario(path, traceOut string) {
 		}
 	}
 	report(res, users)
+	reportPhases(res)
 	if traceOut != "" {
 		if err := writeTrace(res, traceOut); err != nil {
 			fatal(err)
@@ -238,6 +266,20 @@ func report(res *core.Result, users []job.UserID) {
 	fmt.Println("per-user GPU-hours (actual vs entitled):")
 	for _, u := range users {
 		fmt.Printf("  %-8s %8.0f %8.0f\n", u, usage[u]/3600, ref[u]/3600)
+	}
+}
+
+// reportPhases prints per-phase scheduler timings to stderr (only
+// present when an observer was attached via -http).
+func reportPhases(res *core.Result) {
+	if res.PhaseTotalsSeconds == nil || res.Rounds == 0 {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "scheduler phase cost (ms/round):")
+	for _, p := range obs.AllPhases {
+		if tot, ok := res.PhaseTotalsSeconds[string(p)]; ok {
+			fmt.Fprintf(os.Stderr, "  %-10s %8.3f\n", p, 1e3*tot/float64(res.Rounds))
+		}
 	}
 }
 

@@ -30,6 +30,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		auditStr = flag.String("audit", "strict", "invariant auditor mode: strict | count | off")
 		verbose  = flag.Bool("v", false, "print one line per completed run")
+		profile  = flag.Bool("profile", false, "time scheduler phases per run and add <phase> ms columns to the table")
 	)
 	flag.Parse()
 
@@ -59,7 +60,7 @@ func main() {
 		w = runtime.GOMAXPROCS(0)
 	}
 	start := time.Now()
-	results := sweep.Run(context.Background(), points, sweep.Options{Workers: w})
+	results := sweep.Run(context.Background(), points, sweep.Options{Workers: w, Profile: *profile})
 	elapsed := time.Since(start)
 
 	failed := 0

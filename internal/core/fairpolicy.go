@@ -7,6 +7,7 @@ import (
 	"repro/internal/fairshare"
 	"repro/internal/gpu"
 	"repro/internal/job"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/stride"
 	"repro/internal/trade"
@@ -140,6 +141,7 @@ func (p *FairPolicy) Decide(st *RoundState) Decision {
 	caps := st.CapacityByGen()
 
 	// 1. Fair share.
+	st.Obs.PhaseStart(obs.PhaseWaterfill)
 	tickets := st.Tickets
 	if p.cfg.Hierarchy != nil {
 		tickets = p.cfg.Hierarchy.Flatten(users)
@@ -153,16 +155,19 @@ func (p *FairPolicy) Decide(st *RoundState) Decision {
 		jobsPer[u] = len(js)
 	}
 	alloc := fairshare.ComputeAllocation(tickets, demand, caps)
+	st.Obs.PhaseEnd(obs.PhaseWaterfill)
 
 	// 2. Trading.
 	var trades []trade.Trade
 	if p.cfg.EnableTrading {
+		st.Obs.PhaseStart(obs.PhaseTrade)
 		vals := p.userValues(st, byUser)
 		adjusted, log, err := trade.Run(alloc, vals, demand, p.cfg.Trade)
 		if err == nil {
 			alloc = adjusted
 			trades = log
 		}
+		st.Obs.PhaseEnd(obs.PhaseTrade)
 	}
 
 	// 3. Accrue credits; drop departed users; cap per generation.
@@ -201,7 +206,14 @@ func (p *FairPolicy) Decide(st *RoundState) Decision {
 		scheduled[j.ID] = true
 		remaining[g] -= j.Gang
 		if viaCredit {
+			if st.Obs != nil {
+				before := p.credit[u][g]
+				st.Obs.NoteChoice(int64(j.ID), "credit", before, before-float64(j.Gang))
+			}
 			p.credit[u][g] -= float64(j.Gang)
+		} else if st.Obs != nil {
+			c := p.credit[u][g]
+			st.Obs.NoteChoice(int64(j.ID), "backfill", c, c)
 		}
 		if prev, ok := st.PrevGen[j.ID]; ok && prev != g {
 			p.lastMig[j.ID] = p.round

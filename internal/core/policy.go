@@ -15,6 +15,7 @@ package core
 import (
 	"repro/internal/gpu"
 	"repro/internal/job"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/profiler"
 	"repro/internal/simclock"
@@ -49,6 +50,11 @@ type RoundState struct {
 	// Down marks servers that are failed this round; their GPUs are
 	// unplaceable. Use CapacityByGen for the net capacity.
 	Down map[gpu.ServerID]bool
+
+	// Obs is the engine's observer — nil when uninstrumented. All its
+	// methods are nil-safe, so policies may call it unconditionally to
+	// time sub-phases (waterfill, trade) and explain their choices.
+	Obs *obs.Observer
 }
 
 // CapacityByGen returns per-generation GPU counts net of failed

@@ -10,6 +10,7 @@ import (
 	"repro/internal/job"
 	"repro/internal/metrics"
 	"repro/internal/migrate"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/profiler"
 	"repro/internal/simclock"
@@ -62,6 +63,18 @@ type Config struct {
 	// sweeps (violations are tallied in Result.Audit instead) or
 	// AuditOff to disable checking.
 	Audit AuditMode
+
+	// Obs attaches a live observer (metrics, phase profiling,
+	// explained decisions). Nil — the default — disables
+	// instrumentation entirely; with a fixed seed, output is
+	// byte-identical either way because the observer only reads
+	// engine state and never feeds anything back.
+	Obs *obs.Observer
+
+	// TraceCap bounds the event log to the most recent TraceCap
+	// events (ring semantics, oldest dropped). Zero means unlimited —
+	// the historical behavior, which long sweeps may want to cap.
+	TraceCap int
 
 	// Seed feeds all randomness (profiling noise).
 	Seed int64
@@ -170,6 +183,9 @@ func (c Config) Validate() error {
 	if c.Audit != AuditStrict && c.Audit != AuditCount && c.Audit != AuditOff {
 		return fmt.Errorf("core: invalid audit mode %d", int(c.Audit))
 	}
+	if c.TraceCap < 0 {
+		return fmt.Errorf("core: negative TraceCap %d", c.TraceCap)
+	}
 	return nil
 }
 
@@ -210,6 +226,10 @@ type Result struct {
 	Log      *trace.Log
 	Rounds   int
 	End      simclock.Time
+
+	// PhaseTotalsSeconds is cumulative wall-clock scheduler time per
+	// phase (see obs.Phase) — nil unless Config.Obs was set.
+	PhaseTotalsSeconds map[string]float64
 
 	// Audit is the invariant auditor's report for the run; nil only
 	// when the config disabled auditing (AuditOff).
@@ -293,6 +313,7 @@ type Sim struct {
 	rounds     int
 	wasDown    map[gpu.ServerID]bool
 	aud        *auditor
+	obs        *obs.Observer // nil when uninstrumented
 }
 
 // New builds a simulation for a policy. The config is validated.
@@ -327,6 +348,10 @@ func New(cfg Config, policy Policy) (*Sim, error) {
 		capByGen:  make(map[gpu.Generation]float64),
 		wasDown:   make(map[gpu.ServerID]bool),
 		aud:       newAuditor(cfg.Audit, cfg.Cluster, cfg.Quantum),
+		obs:       cfg.Obs,
+	}
+	if cfg.TraceCap > 0 {
+		s.log.SetCap(cfg.TraceCap)
 	}
 	s.ticketQ = make([]TicketChange, len(cfg.TicketChanges))
 	copy(s.ticketQ, cfg.TicketChanges)
@@ -370,7 +395,9 @@ func (s *Sim) Run(until simclock.Time) (*Result, error) {
 				s.clock.RunUntil(aligned)
 			}
 		}
+		s.obs.PhaseStart(obs.PhaseArrivals)
 		s.admitArrivals()
+		s.obs.PhaseEnd(obs.PhaseArrivals)
 		if len(s.active) == 0 {
 			// Arrival strictly inside the coming quantum: step one
 			// quantum and retry.
@@ -404,6 +431,7 @@ func (s *Sim) admitArrivals() {
 func (s *Sim) runRound() error {
 	now := s.clock.Now()
 	s.rounds++
+	s.obs.BeginRound(s.rounds, float64(now))
 	for len(s.ticketQ) > 0 && s.ticketQ[0].At <= now {
 		tc := s.ticketQ[0]
 		s.ticketQ = s.ticketQ[1:]
@@ -422,12 +450,14 @@ func (s *Sim) runRound() error {
 
 		MigrationDisabled: s.cfg.DisableMigration,
 		Down:              down,
+		Obs:               s.obs,
 	}
 	capNow := st.CapacityByGen()
 	s.aud.beginRound(s.rounds, now, capNow, s.tickets)
 	// Policy-independent fairness reference for this round,
 	// water-filled over the capacity actually available (failed
 	// servers excluded).
+	s.obs.PhaseStart(obs.PhaseWaterfill)
 	demand := make(map[job.UserID]float64)
 	for _, j := range st.Jobs {
 		demand[j.User] += float64(j.Gang)
@@ -439,29 +469,41 @@ func (s *Sim) runRound() error {
 	for u, sh := range fairshare.Compute(s.tickets, demand, availTotal) {
 		s.fairUsage[u] += sh * s.cfg.Quantum
 	}
+	s.obs.PhaseEnd(obs.PhaseWaterfill)
 
+	s.obs.PhaseStart(obs.PhaseDecide)
 	dec := s.policy.Decide(st)
 	if err := s.checkDecision(dec, capNow); err != nil {
 		return err
 	}
+	s.obs.PhaseEnd(obs.PhaseDecide)
 	s.trades += len(dec.Trades)
 	for _, tr := range dec.Trades {
 		s.log.Add(now, trace.KindTrade, 0, tr.Buyer,
 			fmt.Sprintf("seller=%s fast=%v slow=%v dFast=%.2f dSlow=%.2f price=%.2f",
 				tr.Seller, tr.Fast, tr.Slow, tr.FastGPUs, tr.SlowGPUs, tr.Price))
+		s.obs.NoteTrade(string(tr.Buyer), string(tr.Seller),
+			tr.Fast.String(), tr.Slow.String(), tr.FastGPUs, tr.SlowGPUs, tr.Price)
 	}
 
+	s.obs.PhaseStart(obs.PhasePlacement)
 	res := placement.Place(s.cfg.Cluster, s.prev, dec.Run,
 		placement.Options{AllowMigration: !s.cfg.DisableMigration, Down: down})
 	if err := placement.Validate(s.cfg.Cluster, res.Assignment); err != nil {
 		return fmt.Errorf("core: round %d: %w", s.rounds, err)
 	}
+	s.obs.PhaseEnd(obs.PhasePlacement)
+	s.obs.PhaseStart(obs.PhaseAudit)
 	s.aud.checkAssignment(res.Assignment, s.active, down)
+	s.obs.PhaseEnd(obs.PhaseAudit)
 
+	s.obs.PhaseStart(obs.PhaseMigrate)
 	migrated := make(map[job.ID]bool, len(res.Migrated))
 	for _, id := range res.Migrated {
 		migrated[id] = true
 	}
+	s.obs.PhaseEnd(obs.PhaseMigrate)
+	s.obs.NoteUnplaced(len(res.Unplaced))
 
 	rep := &ExecReport{Ran: make(map[job.ID]RanInfo, len(res.Assignment)), Unplaced: res.Unplaced}
 	ranThisRound := make(map[job.ID]bool, len(res.Assignment))
@@ -475,6 +517,7 @@ func (s *Sim) runRound() error {
 		placed = append(placed, id)
 	}
 	sort.Slice(placed, func(i, j int) bool { return placed[i] < placed[j] })
+	s.obs.PhaseStart(obs.PhaseExecute)
 	for _, id := range placed {
 		devs := res.Assignment[id]
 		j := s.active[id]
@@ -482,11 +525,24 @@ func (s *Sim) runRound() error {
 			return fmt.Errorf("core: placement returned unknown job %d", id)
 		}
 		gen := s.cfg.Cluster.Device(devs[0]).Gen
+		if s.obs != nil {
+			fromGen := ""
+			if prev, ok := s.prevGen[id]; ok && migrated[id] {
+				fromGen = prev.String()
+			}
+			ints := make([]int, len(devs))
+			for i, d := range devs {
+				ints[i] = int(d)
+			}
+			s.obs.RecordPlacement(int64(id), string(j.User), gen.String(),
+				j.Gang, ints, migrated[id], fromGen)
+		}
 		info := s.executeJob(j, gen, devs, migrated[id])
 		rep.Ran[id] = info
 		ranThisRound[id] = true
 		s.prevGen[id] = gen
 	}
+	s.obs.PhaseEnd(obs.PhaseExecute)
 
 	// Capacity accounting for utilization, net of failed servers.
 	for g, c := range capNow {
@@ -494,12 +550,21 @@ func (s *Sim) runRound() error {
 	}
 
 	// Quantum bookkeeping on every active job, then retire finished
-	// ones.
-	for id, j := range s.active {
+	// ones. Walk jobs in ID order, not map order: retirement appends
+	// finish events to the trace, and map iteration would let two jobs
+	// finishing in the same round swap log positions between runs.
+	activeIDs := make([]job.ID, 0, len(s.active))
+	for id := range s.active {
+		activeIDs = append(activeIDs, id)
+	}
+	sort.Slice(activeIDs, func(i, j int) bool { return activeIDs[i] < activeIDs[j] })
+	for _, id := range activeIDs {
+		j := s.active[id]
 		if j.Finished() {
 			s.finished = append(s.finished, j)
 			s.log.Add(j.FinishTime(), trace.KindFinish, id, j.User,
 				fmt.Sprintf("jct=%.0fs migrations=%d", j.JCT(), j.Migrations()))
+			s.obs.NoteFinish()
 			s.policy.JobFinished(id)
 			s.prof.Remove(id)
 			delete(s.active, id)
@@ -538,7 +603,41 @@ func (s *Sim) runRound() error {
 	s.prev = newPrev
 
 	s.policy.Executed(rep)
-	return s.aud.endRound()
+	s.obs.PhaseStart(obs.PhaseAudit)
+	err := s.aud.endRound()
+	s.obs.PhaseEnd(obs.PhaseAudit)
+	s.publishShares()
+	s.obs.EndRound(len(s.active), len(s.pending))
+	return err
+}
+
+// publishShares refreshes the per-user share gauges (observed vs
+// water-filled entitlement fractions). No-op when uninstrumented.
+func (s *Sim) publishShares() {
+	if s.obs == nil {
+		return
+	}
+	var usedTotal, fairTotal float64
+	used := make(map[job.UserID]float64, len(s.usage))
+	for u, byGen := range s.usage {
+		for _, v := range byGen {
+			used[u] += v
+			usedTotal += v
+		}
+	}
+	for _, v := range s.fairUsage {
+		fairTotal += v
+	}
+	for u, v := range used {
+		uf, ff := 0.0, 0.0
+		if usedTotal > 0 {
+			uf = v / usedTotal
+		}
+		if fairTotal > 0 {
+			ff = s.fairUsage[u] / fairTotal
+		}
+		s.obs.SetShare(string(u), uf, ff)
+	}
 }
 
 // executeJob charges overheads and advances one job for the quantum.
@@ -628,19 +727,30 @@ func (s *Sim) downServers(t simclock.Time) map[gpu.ServerID]bool {
 			down[f.Server] = true
 		}
 	}
-	for sid := range down {
+	// Log transitions in server-ID order so simultaneous failures (or
+	// recoveries) land in the trace deterministically.
+	for _, sid := range sortedServerIDs(down) {
 		if !s.wasDown[sid] {
 			s.wasDown[sid] = true
 			s.log.Add(t, trace.KindFailure, 0, "", fmt.Sprintf("server=%d", sid))
 		}
 	}
-	for sid := range s.wasDown {
+	for _, sid := range sortedServerIDs(s.wasDown) {
 		if !down[sid] {
 			delete(s.wasDown, sid)
 			s.log.Add(t, trace.KindRecovery, 0, "", fmt.Sprintf("server=%d", sid))
 		}
 	}
 	return down
+}
+
+func sortedServerIDs(m map[gpu.ServerID]bool) []gpu.ServerID {
+	ids := make([]gpu.ServerID, 0, len(m))
+	for sid := range m {
+		ids = append(ids, sid)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 func (s *Sim) runnableJobs() []*job.Job {
@@ -693,21 +803,22 @@ func (s *Sim) result() *Result {
 		capTotal += c
 	}
 	return &Result{
-		Policy:           s.policy.Name(),
-		Finished:         s.finished,
-		Unfinished:       len(s.active) + len(s.pending),
-		UsageByUserGen:   s.usage,
-		UsefulByUser:     s.useful,
-		FairUsageByUser:  s.fairUsage,
-		ThroughputByUser: s.mbByUser,
-		Utilization:      metrics.Utilization{BusyGPUSeconds: busy, CapacityGPUSeconds: capTotal},
-		UtilByGen:        utilByGen,
-		Migrations:       s.migrations,
-		TradeCount:       s.trades,
-		Timeline:         s.tl,
-		Log:              s.log,
-		Rounds:           s.rounds,
-		End:              s.clock.Now(),
-		Audit:            s.aud.report(),
+		Policy:             s.policy.Name(),
+		Finished:           s.finished,
+		Unfinished:         len(s.active) + len(s.pending),
+		UsageByUserGen:     s.usage,
+		UsefulByUser:       s.useful,
+		FairUsageByUser:    s.fairUsage,
+		ThroughputByUser:   s.mbByUser,
+		Utilization:        metrics.Utilization{BusyGPUSeconds: busy, CapacityGPUSeconds: capTotal},
+		UtilByGen:          utilByGen,
+		Migrations:         s.migrations,
+		TradeCount:         s.trades,
+		Timeline:           s.tl,
+		Log:                s.log,
+		Rounds:             s.rounds,
+		End:                s.clock.Now(),
+		Audit:              s.aud.report(),
+		PhaseTotalsSeconds: s.obs.PhaseTotals(),
 	}
 }

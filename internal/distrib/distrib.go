@@ -20,6 +20,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/job"
 	"repro/internal/migrate"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/profiler"
 	"repro/internal/simclock"
@@ -32,7 +33,12 @@ type Agent struct {
 	central string
 	gen     gpu.Generation
 	gpus    int
+	obs     *obs.Observer
 }
+
+// SetObserver attaches instrumentation (nil is fine and is the
+// default: every observer method is nil-safe).
+func (a *Agent) SetObserver(o *obs.Observer) { a.obs = o }
 
 // NewAgent wires an agent for a server of gpus devices of one
 // generation.
@@ -55,6 +61,7 @@ func (a *Agent) Run() error {
 	if err != nil {
 		return err
 	}
+	a.obs.NoteProtocol("register_sent")
 	for env := range a.tr.Recv() {
 		switch m := env.Msg.(type) {
 		case comm.RegisterAck:
@@ -62,10 +69,12 @@ func (a *Agent) Run() error {
 				return fmt.Errorf("distrib: registration rejected: %s", m.Reason)
 			}
 		case comm.RoundPlan:
+			a.obs.NoteProtocol("plan_received")
 			rep := a.execute(m)
 			if err := a.tr.Send(a.central, comm.Envelope{From: a.tr.Name(), Msg: rep}); err != nil {
 				return err
 			}
+			a.obs.NoteProtocol("report_sent")
 		case comm.Shutdown:
 			return nil
 		}
@@ -137,6 +146,11 @@ type CentralConfig struct {
 	// reports (guard against a permanently dead deployment). Zero
 	// means 50.
 	MaxAgentTimeouts int
+
+	// Obs receives metrics, phase timings, and decision explanations
+	// for the central scheduler. Nil disables instrumentation at zero
+	// cost (all observer methods are nil-safe).
+	Obs *obs.Observer
 }
 
 // Central is the coordinator. It reuses core.FairPolicy (or any
@@ -244,6 +258,7 @@ func (c *Central) WaitForAgents(n int, timeout time.Duration) error {
 				continue
 			}
 			c.agents = append(c.agents, agentInfo{name: reg.Agent, gen: g, gpus: reg.GPUs})
+			c.cfg.Obs.NoteProtocol("register_received")
 		case <-deadline:
 			return fmt.Errorf("distrib: only %d of %d agents registered", len(c.agents), n)
 		}
@@ -367,6 +382,8 @@ func (c *Central) downServers() map[gpu.ServerID]bool {
 }
 
 func (c *Central) runRound(round int) error {
+	o := c.cfg.Obs
+	o.BeginRound(round, float64(c.now))
 	jobs := make([]*job.Job, 0, len(c.active))
 	for _, j := range c.active {
 		jobs = append(jobs, j)
@@ -383,18 +400,49 @@ func (c *Central) runRound(round int) error {
 		Now: c.now, Quantum: c.cfg.Quantum, Cluster: c.cluster,
 		Jobs: jobs, Tickets: c.cfg.Tickets, Prof: c.prof, PrevGen: c.prevGen,
 		Down: down,
+		Obs:  o,
 	}
+	o.PhaseStart(obs.PhaseDecide)
 	dec := c.policy.Decide(st)
+	o.PhaseEnd(obs.PhaseDecide)
+	for _, t := range dec.Trades {
+		o.NoteTrade(string(t.Buyer), string(t.Seller), t.Fast.String(), t.Slow.String(),
+			t.FastGPUs, t.SlowGPUs, t.Price)
+	}
+	o.PhaseStart(obs.PhasePlacement)
 	res := placement.Place(c.cluster, c.prev, dec.Run, placement.Options{AllowMigration: true, Down: down})
 	if err := placement.Validate(c.cluster, res.Assignment); err != nil {
 		return err
 	}
+	o.PhaseEnd(obs.PhasePlacement)
 	migrated := make(map[job.ID]bool)
 	for _, id := range res.Migrated {
 		migrated[id] = true
 	}
+	o.NoteUnplaced(len(res.Unplaced))
+	if o != nil {
+		for id, devs := range res.Assignment {
+			j := c.active[id]
+			if j == nil {
+				continue
+			}
+			gen := c.cluster.Device(devs[0]).Gen
+			ds := make([]int, len(devs))
+			for i, d := range devs {
+				ds[i] = int(d)
+			}
+			fromGen := ""
+			if migrated[id] {
+				if pg, ok := c.prevGen[id]; ok {
+					fromGen = pg.String()
+				}
+			}
+			o.RecordPlacement(int64(id), string(j.User), gen.String(), j.Gang, ds, migrated[id], fromGen)
+		}
+	}
 
 	// Build per-agent plans.
+	o.PhaseStart(obs.PhaseDispatch)
 	plans := make(map[int]*comm.RoundPlan)
 	genOf := make(map[job.ID]gpu.Generation)
 	gangOf := make(map[job.ID]int)
@@ -455,8 +503,11 @@ func (c *Central) runRound(round int) error {
 		if err := c.tr.Send(name, comm.Envelope{From: c.tr.Name(), Msg: *plan}); err != nil {
 			return err
 		}
+		o.NoteProtocol("plan_sent")
 		want[name] = true
 	}
+	o.PhaseEnd(obs.PhaseDispatch)
+	o.PhaseStart(obs.PhaseCollect)
 	progress := make(map[job.ID]comm.JobProgress)
 	deadline := time.After(c.cfg.ReportTimeout)
 	for len(want) > 0 {
@@ -471,6 +522,7 @@ func (c *Central) runRound(round int) error {
 			}
 			delete(want, rep.Agent)
 			c.missed[rep.Agent] = 0
+			o.NoteProtocol("report_received")
 			for _, p := range rep.Jobs {
 				id := job.ID(p.JobID)
 				prev, seen := progress[id]
@@ -494,6 +546,9 @@ func (c *Central) runRound(round int) error {
 			if c.cfg.StrictReports {
 				return fmt.Errorf("distrib: round %d: %d agents did not report", round, len(want))
 			}
+			for range want {
+				o.NoteProtocol("report_timeout")
+			}
 			c.timeouts += len(want)
 			if c.timeouts > c.cfg.MaxAgentTimeouts {
 				return fmt.Errorf("distrib: %d missed agent reports, giving up", c.timeouts)
@@ -509,8 +564,11 @@ func (c *Central) runRound(round int) error {
 		}
 	}
 
+	o.PhaseEnd(obs.PhaseCollect)
+
 	// Apply reports, exactly as the paper's central scheduler updates
 	// its view from server heartbeats.
+	o.PhaseStart(obs.PhaseApply)
 	rep := &core.ExecReport{Ran: make(map[job.ID]core.RanInfo)}
 	ranThisRound := make(map[job.ID]bool)
 	for id, p := range progress {
@@ -547,6 +605,7 @@ func (c *Central) runRound(round int) error {
 			c.prof.Remove(id)
 			delete(c.active, id)
 			delete(c.prevGen, id)
+			o.NoteFinish()
 			continue
 		}
 		newPrev[id] = devs
@@ -562,5 +621,34 @@ func (c *Central) runRound(round int) error {
 		j.NoteQuantum(ranThisRound[id])
 	}
 	c.prev = newPrev
+	o.PhaseEnd(obs.PhaseApply)
+	c.publishShares()
+	o.EndRound(len(c.active), len(c.pending))
 	return nil
+}
+
+// publishShares exports per-user usage and fair-share fractions to
+// the observer's gauges. No-op when uninstrumented.
+func (c *Central) publishShares() {
+	if c.cfg.Obs == nil {
+		return
+	}
+	var totalUse, totalTickets float64
+	for _, u := range c.usage {
+		totalUse += u
+	}
+	for _, t := range c.cfg.Tickets {
+		totalTickets += t
+	}
+	for user, t := range c.cfg.Tickets {
+		useFrac := 0.0
+		if totalUse > 0 {
+			useFrac = c.usage[user] / totalUse
+		}
+		fairFrac := 0.0
+		if totalTickets > 0 {
+			fairFrac = t / totalTickets
+		}
+		c.cfg.Obs.SetShare(string(user), useFrac, fairFrac)
+	}
 }

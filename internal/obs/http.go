@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// Handler serves the introspection surface for one Observer:
+//
+//	/metrics     Prometheus text exposition
+//	/healthz     liveness ("ok")
+//	/debug/sched recent explained decisions + phase timings as JSON
+func Handler(o *Observer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		reg := o.Registry()
+		if reg == nil {
+			http.Error(w, "observability disabled", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/sched", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(o.Snapshot())
+	})
+	return mux
+}
+
+// Serve starts the introspection server on addr (e.g. ":9090" or
+// "127.0.0.1:0") in a background goroutine and returns the server
+// and the bound address. Callers own shutdown via srv.Close.
+func Serve(addr string, o *Observer) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("obs: %w", err)
+	}
+	srv := &http.Server{Handler: Handler(o)}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,422 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Phase names one segment of a scheduling round. The simulation core
+// and the distributed central scheduler share one namespace so grid
+// sweeps and live deployments report comparable profiles.
+type Phase string
+
+// Phases of a scheduling round. The simulation core uses arrivals
+// through audit; the distributed central scheduler additionally uses
+// dispatch/collect/apply (its execute happens on remote agents).
+const (
+	PhaseArrivals  Phase = "arrivals"  // admit newly arrived jobs
+	PhaseWaterfill Phase = "waterfill" // ticket water-filling (policy + fair reference)
+	PhaseDecide    Phase = "decide"    // full policy decision
+	PhaseTrade     Phase = "trade"     // resource-trading loop inside decide
+	PhasePlacement Phase = "placement" // gang → device assignment
+	PhaseMigrate   Phase = "migrate"   // migration bookkeeping
+	PhaseExecute   Phase = "execute"   // advancing job progress
+	PhaseAudit     Phase = "audit"     // invariant auditor
+	PhaseDispatch  Phase = "dispatch"  // distrib: shipping round plans
+	PhaseCollect   Phase = "collect"   // distrib: waiting for agent reports
+	PhaseApply     Phase = "apply"     // distrib: applying agent reports
+)
+
+// AllPhases lists every phase; the Observer pre-registers each so
+// /metrics exposes the full histogram family from the first scrape.
+var AllPhases = []Phase{
+	PhaseArrivals, PhaseWaterfill, PhaseDecide, PhaseTrade,
+	PhasePlacement, PhaseMigrate, PhaseExecute, PhaseAudit,
+	PhaseDispatch, PhaseCollect, PhaseApply,
+}
+
+// phaseBuckets spans sub-microsecond to multi-second phase times.
+var phaseBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// Decision is one explained scheduling decision: which job landed
+// where, and the structured "why" behind it.
+type Decision struct {
+	Round int     `json:"round"`
+	At    float64 `json:"sim_time_seconds"`
+	Job   int64   `json:"job"`
+	User  string  `json:"user"`
+	Gen   string  `json:"gen"`
+	Gang  int     `json:"gang"`
+	// Devices are the concrete device IDs the gang was placed on
+	// (absent in contexts that only know the generation).
+	Devices []int `json:"devices,omitempty"`
+
+	// Reason is how the slot was funded: "credit" (fair-share deficit
+	// credit), "backfill" (work-conserving leftover capacity), or
+	// "policy" for schedulers that do not explain themselves.
+	Reason string `json:"reason"`
+	// CreditBefore/CreditAfter are the user's deficit credit on the
+	// chosen generation around this decision (credit-funded only).
+	CreditBefore float64 `json:"credit_before,omitempty"`
+	CreditAfter  float64 `json:"credit_after,omitempty"`
+
+	// Migrated marks a generation/server change this round, with the
+	// generation the job came from.
+	Migrated bool   `json:"migrated,omitempty"`
+	FromGen  string `json:"from_gen,omitempty"`
+}
+
+// TradeEvent is one executed resource trade.
+type TradeEvent struct {
+	Round    int     `json:"round"`
+	At       float64 `json:"sim_time_seconds"`
+	Buyer    string  `json:"buyer"`
+	Seller   string  `json:"seller"`
+	Fast     string  `json:"fast"`
+	Slow     string  `json:"slow"`
+	FastGPUs float64 `json:"fast_gpus"`
+	SlowGPUs float64 `json:"slow_gpus"`
+	Price    float64 `json:"price"`
+}
+
+// Snapshot is the /debug/sched payload: recent explained decisions
+// and where round time went.
+type Snapshot struct {
+	Round             int                `json:"round"`
+	SimTimeSeconds    float64            `json:"sim_time_seconds"`
+	Rounds            float64            `json:"rounds_total"`
+	PhaseTotals       map[string]float64 `json:"phase_totals_seconds"`
+	LastRound         map[string]float64 `json:"last_round_seconds"`
+	Decisions         []Decision         `json:"decisions"`
+	Trades            []TradeEvent       `json:"trades"`
+	DecisionsRecorded uint64             `json:"decisions_recorded"`
+	TradesRecorded    uint64             `json:"trades_recorded"`
+}
+
+// choiceNote is the policy-side half of a decision explanation,
+// buffered until the engine knows the concrete devices.
+type choiceNote struct {
+	reason       string
+	creditBefore float64
+	creditAfter  float64
+}
+
+// DefaultRingSize bounds the decision and trade rings.
+const DefaultRingSize = 256
+
+// Observer bundles a metrics registry, the per-round phase profiler,
+// and the explained-decision ring. The zero value is not usable; use
+// New. A nil *Observer is valid everywhere and does nothing, so
+// instrumented code needs no flag checks.
+type Observer struct {
+	reg *Registry
+	now func() time.Time
+
+	roundsTotal    *Counter
+	decisionsTotal *Counter
+	migrationsTot  *Counter
+	tradesTotal    *Counter
+	finishedTotal  *Counter
+	unplacedTotal  *Counter
+	jobsActive     *Gauge
+	jobsPending    *Gauge
+	simTime        *Gauge
+	phaseHist      map[Phase]*Histogram
+	shareUsage     *GaugeVec
+	shareFair      *GaugeVec
+	protoEvents    *CounterVec
+
+	mu          sync.Mutex
+	curRound    int
+	curAt       float64
+	phaseStarts map[Phase]time.Time
+	building    map[Phase]float64 // this round's per-phase seconds
+	lastRound   map[Phase]float64
+	totals      map[Phase]float64
+	pendingWhy  map[int64]choiceNote
+
+	decRing  []Decision
+	decNext  int
+	decSeen  uint64
+	trRing   []TradeEvent
+	trNext   int
+	trSeen   uint64
+	ringSize int
+}
+
+// New builds an Observer with DefaultRingSize.
+func New() *Observer { return NewSized(DefaultRingSize) }
+
+// NewSized builds an Observer whose decision/trade rings keep the
+// last ringSize entries (minimum 1).
+func NewSized(ringSize int) *Observer {
+	if ringSize < 1 {
+		ringSize = 1
+	}
+	reg := NewRegistry()
+	o := &Observer{
+		reg:         reg,
+		now:         time.Now,
+		phaseHist:   make(map[Phase]*Histogram, len(AllPhases)),
+		phaseStarts: make(map[Phase]time.Time),
+		building:    make(map[Phase]float64),
+		lastRound:   make(map[Phase]float64),
+		totals:      make(map[Phase]float64),
+		pendingWhy:  make(map[int64]choiceNote),
+		ringSize:    ringSize,
+	}
+	o.roundsTotal = reg.Counter("gf_rounds_total", "Scheduling rounds completed.").With()
+	o.decisionsTotal = reg.Counter("gf_decisions_total", "Job placement decisions recorded.").With()
+	o.migrationsTot = reg.Counter("gf_migrations_total", "Job migrations executed.").With()
+	o.tradesTotal = reg.Counter("gf_trades_total", "Resource trades executed.").With()
+	o.finishedTotal = reg.Counter("gf_jobs_finished_total", "Jobs that reached completion.").With()
+	o.unplacedTotal = reg.Counter("gf_unplaced_total", "Scheduled jobs fragmentation left unplaced.").With()
+	o.jobsActive = reg.Gauge("gf_jobs_active", "Admitted, unfinished jobs.").With()
+	o.jobsPending = reg.Gauge("gf_jobs_pending", "Jobs not yet arrived.").With()
+	o.simTime = reg.Gauge("gf_sim_time_seconds", "Simulated (virtual) time.").With()
+	hist := reg.Histogram("gf_round_phase_seconds",
+		"Wall-clock time spent in each scheduler phase per round.", phaseBuckets, "phase")
+	for _, p := range AllPhases {
+		o.phaseHist[p] = hist.With(string(p))
+	}
+	o.shareUsage = reg.Gauge("gf_user_usage_fraction",
+		"User's fraction of total occupied GPU-seconds so far.", "user")
+	o.shareFair = reg.Gauge("gf_user_fair_fraction",
+		"User's fraction under the water-filled fair reference.", "user")
+	o.protoEvents = reg.Counter("gf_protocol_events_total",
+		"Distributed-protocol events by type.", "event")
+	return o
+}
+
+// Registry exposes the underlying registry (nil for a nil Observer).
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// BeginRound opens a round at the given simulated time. Explanation
+// notes left by jobs that were never placed are discarded here.
+func (o *Observer) BeginRound(round int, simNow float64) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.curRound = round
+	o.curAt = simNow
+	if len(o.pendingWhy) > 0 {
+		o.pendingWhy = make(map[int64]choiceNote)
+	}
+	o.mu.Unlock()
+	o.simTime.Set(simNow)
+}
+
+// PhaseStart marks the beginning of a phase span. Spans of one phase
+// may be split; their durations accumulate within the round.
+func (o *Observer) PhaseStart(p Phase) {
+	if o == nil {
+		return
+	}
+	t := o.now()
+	o.mu.Lock()
+	o.phaseStarts[p] = t
+	o.mu.Unlock()
+}
+
+// PhaseEnd closes the current span of a phase.
+func (o *Observer) PhaseEnd(p Phase) {
+	if o == nil {
+		return
+	}
+	t := o.now()
+	o.mu.Lock()
+	if start, ok := o.phaseStarts[p]; ok {
+		o.building[p] += t.Sub(start).Seconds()
+		delete(o.phaseStarts, p)
+	}
+	o.mu.Unlock()
+}
+
+// EndRound closes the round: each phase touched this round gets one
+// histogram observation, totals roll up, and job gauges refresh.
+func (o *Observer) EndRound(active, pending int) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	built := o.building
+	o.building = make(map[Phase]float64, len(built))
+	o.lastRound = built
+	for p, secs := range built {
+		o.totals[p] += secs
+	}
+	o.mu.Unlock()
+	for p, secs := range built {
+		if h := o.phaseHist[p]; h != nil {
+			h.Observe(secs)
+		}
+	}
+	o.roundsTotal.Inc()
+	o.jobsActive.Set(float64(active))
+	o.jobsPending.Set(float64(pending))
+}
+
+// NoteChoice records the policy-side explanation for scheduling one
+// job this round; the engine later completes it with the concrete
+// devices via RecordPlacement.
+func (o *Observer) NoteChoice(job int64, reason string, creditBefore, creditAfter float64) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.pendingWhy[job] = choiceNote{reason: reason, creditBefore: creditBefore, creditAfter: creditAfter}
+	o.mu.Unlock()
+}
+
+// RecordPlacement finalizes one job's decision for the round,
+// merging any policy explanation noted earlier. fromGen is the
+// generation the job migrated off ("" when not migrated).
+func (o *Observer) RecordPlacement(job int64, user, gen string, gang int, devices []int, migrated bool, fromGen string) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	d := Decision{
+		Round: o.curRound, At: o.curAt,
+		Job: job, User: user, Gen: gen, Gang: gang,
+		Devices: devices, Reason: "policy",
+		Migrated: migrated, FromGen: fromGen,
+	}
+	if note, ok := o.pendingWhy[job]; ok {
+		d.Reason = note.reason
+		d.CreditBefore = note.creditBefore
+		d.CreditAfter = note.creditAfter
+		delete(o.pendingWhy, job)
+	}
+	if len(o.decRing) < o.ringSize {
+		o.decRing = append(o.decRing, d)
+	} else {
+		o.decRing[o.decNext] = d
+	}
+	o.decNext = (o.decNext + 1) % o.ringSize
+	o.decSeen++
+	o.mu.Unlock()
+	o.decisionsTotal.Inc()
+	if migrated {
+		o.migrationsTot.Inc()
+	}
+}
+
+// NoteTrade records one executed resource trade.
+func (o *Observer) NoteTrade(buyer, seller, fast, slow string, fastGPUs, slowGPUs, price float64) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	t := TradeEvent{
+		Round: o.curRound, At: o.curAt,
+		Buyer: buyer, Seller: seller, Fast: fast, Slow: slow,
+		FastGPUs: fastGPUs, SlowGPUs: slowGPUs, Price: price,
+	}
+	if len(o.trRing) < o.ringSize {
+		o.trRing = append(o.trRing, t)
+	} else {
+		o.trRing[o.trNext] = t
+	}
+	o.trNext = (o.trNext + 1) % o.ringSize
+	o.trSeen++
+	o.mu.Unlock()
+	o.tradesTotal.Inc()
+}
+
+// NoteFinish counts one completed job.
+func (o *Observer) NoteFinish() {
+	if o == nil {
+		return
+	}
+	o.finishedTotal.Inc()
+}
+
+// NoteUnplaced counts jobs the placer could not fit this round.
+func (o *Observer) NoteUnplaced(n int) {
+	if o == nil || n <= 0 {
+		return
+	}
+	o.unplacedTotal.Add(float64(n))
+}
+
+// SetShare publishes one user's observed and entitled usage
+// fractions.
+func (o *Observer) SetShare(user string, usageFrac, fairFrac float64) {
+	if o == nil {
+		return
+	}
+	o.shareUsage.With(user).Set(usageFrac)
+	o.shareFair.With(user).Set(fairFrac)
+}
+
+// NoteProtocol counts one distributed-protocol event (plan_sent,
+// report_received, report_timeout, register, ...).
+func (o *Observer) NoteProtocol(event string) {
+	if o == nil {
+		return
+	}
+	o.protoEvents.With(event).Inc()
+}
+
+// PhaseTotals returns cumulative seconds per phase (phases never
+// touched are omitted). Nil for a nil Observer.
+func (o *Observer) PhaseTotals() map[string]float64 {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make(map[string]float64, len(o.totals))
+	for p, s := range o.totals {
+		out[string(p)] = s
+	}
+	return out
+}
+
+// Snapshot captures the introspection payload, decisions and trades
+// oldest-first.
+func (o *Observer) Snapshot() Snapshot {
+	if o == nil {
+		return Snapshot{}
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	snap := Snapshot{
+		Round:             o.curRound,
+		SimTimeSeconds:    o.curAt,
+		PhaseTotals:       make(map[string]float64, len(o.totals)),
+		LastRound:         make(map[string]float64, len(o.lastRound)),
+		Decisions:         ringSlice(o.decRing, o.decNext, o.ringSize),
+		Trades:            ringSlice(o.trRing, o.trNext, o.ringSize),
+		DecisionsRecorded: o.decSeen,
+		TradesRecorded:    o.trSeen,
+	}
+	snap.Rounds = o.roundsTotal.Value()
+	for p, s := range o.totals {
+		snap.PhaseTotals[string(p)] = s
+	}
+	for p, s := range o.lastRound {
+		snap.LastRound[string(p)] = s
+	}
+	return snap
+}
+
+// ringSlice linearizes a ring into oldest-first order.
+func ringSlice[T any](ring []T, next, size int) []T {
+	out := make([]T, 0, len(ring))
+	if len(ring) < size {
+		return append(out, ring...)
+	}
+	out = append(out, ring[next:]...)
+	return append(out, ring[:next]...)
+}

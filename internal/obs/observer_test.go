@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilObserverIsSafe exercises every instrumentation entry point
+// on a nil receiver — the disabled path used by uninstrumented runs.
+func TestNilObserverIsSafe(t *testing.T) {
+	var o *Observer
+	o.BeginRound(1, 0)
+	o.PhaseStart(PhaseDecide)
+	o.PhaseEnd(PhaseDecide)
+	o.NoteChoice(1, "credit", 2, 1)
+	o.RecordPlacement(1, "u", "V100", 1, []int{0}, true, "K80")
+	o.NoteTrade("a", "b", "V100", "K80", 1, 2, 1.5)
+	o.NoteFinish()
+	o.NoteUnplaced(3)
+	o.SetShare("u", 0.5, 0.5)
+	o.NoteProtocol("plan_sent")
+	o.EndRound(0, 0)
+	if o.Registry() != nil {
+		t.Error("nil observer returned a registry")
+	}
+	if o.PhaseTotals() != nil {
+		t.Error("nil observer returned phase totals")
+	}
+	if s := o.Snapshot(); len(s.Decisions) != 0 {
+		t.Error("nil observer returned decisions")
+	}
+}
+
+func TestPhaseProfiling(t *testing.T) {
+	o := New()
+	// Deterministic fake clock: each call advances 1 ms.
+	var tick int64
+	o.now = func() time.Time {
+		tick++
+		return time.Unix(0, tick*int64(time.Millisecond))
+	}
+
+	o.BeginRound(1, 360)
+	o.PhaseStart(PhaseDecide) // t=1ms
+	o.PhaseEnd(PhaseDecide)   // t=2ms → 1ms
+	o.PhaseStart(PhaseAudit)  // split span: two 1ms segments
+	o.PhaseEnd(PhaseAudit)
+	o.PhaseStart(PhaseAudit)
+	o.PhaseEnd(PhaseAudit)
+	o.EndRound(4, 2)
+
+	totals := o.PhaseTotals()
+	if d := totals[string(PhaseDecide)]; d < 0.0009 || d > 0.0011 {
+		t.Errorf("decide total = %v, want ~1ms", d)
+	}
+	if d := totals[string(PhaseAudit)]; d < 0.0019 || d > 0.0021 {
+		t.Errorf("audit total = %v, want ~2ms (split spans accumulate)", d)
+	}
+	// One histogram observation per touched phase per round.
+	if n := o.phaseHist[PhaseAudit].Count(); n != 1 {
+		t.Errorf("audit observations = %d, want 1", n)
+	}
+	if n := o.phaseHist[PhaseExecute].Count(); n != 0 {
+		t.Errorf("untouched phase observed %d times", n)
+	}
+
+	snap := o.Snapshot()
+	if snap.Round != 1 || snap.SimTimeSeconds != 360 || snap.Rounds != 1 {
+		t.Errorf("snapshot header = %+v", snap)
+	}
+	if snap.LastRound[string(PhaseDecide)] == 0 {
+		t.Error("last-round timings missing decide")
+	}
+
+	// PhaseEnd without a start is a no-op, not a crash.
+	o.PhaseEnd(PhaseTrade)
+}
+
+func TestPhaseHistogramsPreRegistered(t *testing.T) {
+	o := New()
+	var b strings.Builder
+	if err := o.Registry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, p := range AllPhases {
+		if !strings.Contains(out, `gf_round_phase_seconds_bucket{phase="`+string(p)+`"`) {
+			t.Errorf("phase %s not pre-registered in /metrics output", p)
+		}
+	}
+}
+
+func TestDecisionRingMergesPolicyNotes(t *testing.T) {
+	o := NewSized(3)
+	o.BeginRound(7, 2520)
+	o.NoteChoice(42, "credit", 3.5, 1.5)
+	o.RecordPlacement(42, "alice", "V100", 2, []int{4, 5}, true, "K80")
+	o.RecordPlacement(43, "bob", "K80", 1, []int{0}, false, "")
+
+	snap := o.Snapshot()
+	if len(snap.Decisions) != 2 {
+		t.Fatalf("decisions = %d", len(snap.Decisions))
+	}
+	d := snap.Decisions[0]
+	if d.Round != 7 || d.Job != 42 || d.Reason != "credit" ||
+		d.CreditBefore != 3.5 || d.CreditAfter != 1.5 ||
+		!d.Migrated || d.FromGen != "K80" || len(d.Devices) != 2 {
+		t.Errorf("merged decision = %+v", d)
+	}
+	if snap.Decisions[1].Reason != "policy" {
+		t.Errorf("unexplained decision reason = %q, want policy", snap.Decisions[1].Reason)
+	}
+
+	// Overflow keeps the newest entries, oldest-first.
+	o.RecordPlacement(44, "c", "K80", 1, nil, false, "")
+	o.RecordPlacement(45, "d", "K80", 1, nil, false, "")
+	snap = o.Snapshot()
+	if len(snap.Decisions) != 3 || snap.Decisions[0].Job != 43 || snap.Decisions[2].Job != 45 {
+		t.Errorf("ring overflow wrong: %+v", snap.Decisions)
+	}
+	if snap.DecisionsRecorded != 4 {
+		t.Errorf("recorded = %d, want 4", snap.DecisionsRecorded)
+	}
+}
+
+func TestStaleChoiceNotesDroppedAtRoundStart(t *testing.T) {
+	o := New()
+	o.BeginRound(1, 0)
+	o.NoteChoice(9, "credit", 1, 0) // job 9 ends up unplaced
+	o.BeginRound(2, 360)
+	o.RecordPlacement(9, "u", "K80", 1, nil, false, "")
+	if d := o.Snapshot().Decisions[0]; d.Reason != "policy" {
+		t.Errorf("stale note survived round boundary: %+v", d)
+	}
+}
+
+func TestTradeRingAndCounters(t *testing.T) {
+	o := New()
+	o.BeginRound(3, 1080)
+	o.NoteTrade("fastuser", "slowuser", "V100", "K80", 2, 3.1, 1.55)
+	o.NoteFinish()
+	o.NoteUnplaced(2)
+	o.SetShare("fastuser", 0.6, 0.5)
+
+	snap := o.Snapshot()
+	if len(snap.Trades) != 1 || snap.Trades[0].Buyer != "fastuser" || snap.Trades[0].Price != 1.55 {
+		t.Errorf("trades = %+v", snap.Trades)
+	}
+	var b strings.Builder
+	o.Registry().WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"gf_trades_total 1",
+		"gf_jobs_finished_total 1",
+		"gf_unplaced_total 2",
+		`gf_user_usage_fraction{user="fastuser"} 0.6`,
+		`gf_user_fair_fraction{user="fastuser"} 0.5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestConcurrentScrape races instrumentation against exposition —
+// the live-server situation. Run under -race in CI.
+func TestConcurrentScrape(t *testing.T) {
+	o := New()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			o.BeginRound(i, float64(i))
+			o.PhaseStart(PhaseExecute)
+			o.PhaseEnd(PhaseExecute)
+			o.RecordPlacement(int64(i), "u", "K80", 1, []int{0}, false, "")
+			o.EndRound(1, 0)
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		var b strings.Builder
+		if err := o.Registry().WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		o.Snapshot()
+	}
+	close(stop)
+	wg.Wait()
+}

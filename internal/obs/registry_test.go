@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "A counter.", "kind")
+	c.With("a").Add(2)
+	c.With("a").Inc()
+	c.With("b").Inc()
+	g := r.Gauge("test_gauge", "A gauge.")
+	g.With().Set(1.5)
+	g.With().Add(-0.5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_total A counter.",
+		"# TYPE test_total counter",
+		`test_total{kind="a"} 3`,
+		`test_total{kind="b"} 1`,
+		"# TYPE test_gauge gauge",
+		"test_gauge 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mono_total", "").With()
+	c.Add(5)
+	c.Add(-3)
+	if v := c.Value(); v != 5 {
+		t.Errorf("counter = %v, want 5 (negative add ignored)", v)
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.1, 1}, "phase")
+	ph := h.With("decide")
+	ph.Observe(0.05)
+	ph.Observe(0.5)
+	ph.Observe(2)
+	if ph.Count() != 3 {
+		t.Fatalf("count = %d", ph.Count())
+	}
+	if s := ph.Sum(); s < 2.54 || s > 2.56 {
+		t.Fatalf("sum = %v", s)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{phase="decide",le="0.1"} 1`,
+		`lat_seconds_bucket{phase="decide",le="1"} 2`,
+		`lat_seconds_bucket{phase="decide",le="+Inf"} 3`,
+		`lat_seconds_count{phase="decide"} 3`,
+		`lat_seconds_sum{phase="decide"} 2.55`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestExpositionDeterministicOrder(t *testing.T) {
+	build := func() string {
+		r := NewRegistry()
+		c := r.Counter("zzz_total", "", "u")
+		r.Gauge("aaa", "").With().Set(1)
+		c.With("y").Inc()
+		c.With("x").Inc()
+		var b strings.Builder
+		r.WritePrometheus(&b)
+		return b.String()
+	}
+	a, b := build(), build()
+	if a != b {
+		t.Fatalf("non-deterministic exposition:\n%s\nvs\n%s", a, b)
+	}
+	if strings.Index(a, "aaa") > strings.Index(a, "zzz_total") {
+		t.Errorf("families not name-sorted:\n%s", a)
+	}
+	if strings.Index(a, `u="x"`) > strings.Index(a, `u="y"`) {
+		t.Errorf("series not label-sorted:\n%s", a)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("esc", "", "v").With("a\"b\\c\nd").Set(1)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), `esc{v="a\"b\\c\nd"} 1`) {
+		t.Errorf("escaping wrong:\n%s", b.String())
+	}
+}
+
+func TestReregistrationReturnsSameFamily(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "", "k")
+	bvec := r.Counter("dup_total", "", "k")
+	a.With("x").Inc()
+	bvec.With("x").Inc()
+	if v := a.With("x").Value(); v != 2 {
+		t.Errorf("same series not shared: %v", v)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("type mismatch re-registration did not panic")
+		}
+	}()
+	r.Gauge("dup_total", "")
+}
+
+func TestInvalidMetricNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad name did not panic")
+		}
+	}()
+	NewRegistry().Counter("bad name", "")
+}

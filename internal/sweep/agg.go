@@ -6,6 +6,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // Dist summarizes a sample with the quantiles the sweep reports.
@@ -77,6 +79,12 @@ type GroupSummary struct {
 	// violations" can be told apart from "auditing was off".
 	AuditViolations int
 	Audited         int
+
+	// PhaseMsPerRound distributes each scheduler phase's wall-clock
+	// cost in milliseconds per round across the group's instrumented
+	// runs (Options.Profile or an explicit Config.Obs). Nil when no run
+	// carried an observer.
+	PhaseMsPerRound map[string]Dist
 }
 
 // Summary is the aggregate of a whole sweep, one entry per group in
@@ -90,6 +98,7 @@ func Summarize(results []RunResult) *Summary {
 	type acc struct {
 		g                                       GroupSummary
 		jcts, fin, shareErr, util, migs, trades []float64
+		phases                                  map[string][]float64
 	}
 	var order []string
 	accs := make(map[string]*acc)
@@ -116,6 +125,14 @@ func Summarize(results []RunResult) *Summary {
 			a.g.Audited++
 			a.g.AuditViolations += res.Audit.Total()
 		}
+		if res.PhaseTotalsSeconds != nil && res.Rounds > 0 {
+			if a.phases == nil {
+				a.phases = make(map[string][]float64)
+			}
+			for p, tot := range res.PhaseTotalsSeconds {
+				a.phases[p] = append(a.phases[p], 1e3*tot/float64(res.Rounds))
+			}
+		}
 	}
 	s := &Summary{}
 	for _, name := range order {
@@ -126,15 +143,45 @@ func Summarize(results []RunResult) *Summary {
 		a.g.Utilization = DistOf(a.util)
 		a.g.Migrations = DistOf(a.migs)
 		a.g.Trades = DistOf(a.trades)
+		if a.phases != nil {
+			a.g.PhaseMsPerRound = make(map[string]Dist, len(a.phases))
+			for p, xs := range a.phases {
+				a.g.PhaseMsPerRound[p] = DistOf(xs)
+			}
+		}
 		s.Groups = append(s.Groups, a.g)
 	}
 	return s
 }
 
+// phaseCols lists the phases any group actually timed, in canonical
+// phase order, so the table only widens when profiling is on.
+func (s *Summary) phaseCols() []string {
+	seen := make(map[string]bool)
+	for _, g := range s.Groups {
+		for p := range g.PhaseMsPerRound {
+			seen[p] = true
+		}
+	}
+	var out []string
+	for _, p := range obs.AllPhases {
+		if seen[string(p)] {
+			out = append(out, string(p))
+		}
+	}
+	return out
+}
+
 // Render writes the summary as an aligned text table, one row per
-// group. JCT statistics are in hours.
+// group. JCT statistics are in hours. Profiled sweeps grow one extra
+// "<phase> ms" column per observed scheduler phase (mean wall-clock
+// milliseconds per round).
 func (s *Summary) Render(w io.Writer) error {
 	cols := []string{"group", "runs", "errs", "finished", "JCT mean h", "JCT p50 h", "JCT p99 h", "share err", "util", "audit"}
+	phases := s.phaseCols()
+	for _, p := range phases {
+		cols = append(cols, p+" ms")
+	}
 	rows := [][]string{cols}
 	for _, g := range s.Groups {
 		audit := "clean"
@@ -144,7 +191,7 @@ func (s *Summary) Render(w io.Writer) error {
 		case g.Audited == 0:
 			audit = "-"
 		}
-		rows = append(rows, []string{
+		row := []string{
 			g.Group,
 			fmt.Sprint(g.Runs),
 			fmt.Sprint(g.Errors),
@@ -155,7 +202,16 @@ func (s *Summary) Render(w io.Writer) error {
 			fmt.Sprintf("%.1f%%", 100*g.MaxShareError.Mean),
 			fmt.Sprintf("%.1f%%", 100*g.Utilization.Mean),
 			audit,
-		})
+		}
+		for _, p := range phases {
+			d, ok := g.PhaseMsPerRound[p]
+			if !ok {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.3f", d.Mean))
+		}
+		rows = append(rows, row)
 	}
 	widths := make([]int, len(cols))
 	for _, row := range rows {

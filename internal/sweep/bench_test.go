@@ -13,7 +13,7 @@ import (
 func benchPoints(b *testing.B) []Point {
 	points := testPoints(8)
 	// Warm once so the benchmark measures simulation, not lazy init.
-	r := runOne(context.Background(), 0, points[0])
+	r := runOne(context.Background(), 0, points[0], false)
 	if r.Err != nil {
 		b.Fatal(r.Err)
 	}

@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/simclock"
 )
 
@@ -74,6 +75,13 @@ type RunResult struct {
 type Options struct {
 	// Workers is the pool size; ≤0 means runtime.GOMAXPROCS(0).
 	Workers int
+
+	// Profile attaches a fresh observer to every point whose config
+	// does not already carry one, so the aggregate table can report
+	// per-phase scheduler timings. Instrumentation never changes
+	// simulation outcomes (see internal/obs), only adds wall-clock
+	// measurement cost.
+	Profile bool
 }
 
 // Run executes every point and returns results in point order. It
@@ -103,7 +111,7 @@ func Run(ctx context.Context, points []Point, opt Options) []RunResult {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = runOne(ctx, i, points[i])
+				results[i] = runOne(ctx, i, points[i], opt.Profile)
 			}
 		}()
 	}
@@ -132,7 +140,7 @@ func Run(ctx context.Context, points []Point, opt Options) []RunResult {
 }
 
 // runOne executes a single point with panic capture.
-func runOne(ctx context.Context, i int, p Point) (rr RunResult) {
+func runOne(ctx context.Context, i int, p Point, profile bool) (rr RunResult) {
 	rr = RunResult{Index: i, Label: p.Label, Group: p.group(), Seed: p.Config.Seed}
 	defer func() {
 		if r := recover(); r != nil {
@@ -152,6 +160,9 @@ func runOne(ctx context.Context, i int, p Point) (rr RunResult) {
 	if err != nil {
 		rr.Err = fmt.Errorf("sweep: point %q: %w", p.Label, err)
 		return rr
+	}
+	if profile && p.Config.Obs == nil {
+		p.Config.Obs = obs.New() // per-run: registries are cheap and unshared
 	}
 	sim, err := core.New(p.Config, policy)
 	if err != nil {

@@ -239,3 +239,52 @@ func TestGridRejectsUnknownFieldsAndBadPolicies(t *testing.T) {
 		t.Error("unknown policy accepted")
 	}
 }
+
+// TestProfileAddsPhaseColumns checks the Profile option: phase timing
+// distributions are aggregated per group and surfaced as table
+// columns, while unprofiled sweeps keep the original table shape and
+// identical simulation outcomes.
+func TestProfileAddsPhaseColumns(t *testing.T) {
+	points := testPoints(3)
+	plain := Run(context.Background(), points, Options{Workers: 2})
+	prof := Run(context.Background(), points, Options{Workers: 2, Profile: true})
+
+	for i := range points {
+		if plain[i].Err != nil || prof[i].Err != nil {
+			t.Fatalf("point %d errored: %v / %v", i, plain[i].Err, prof[i].Err)
+		}
+		// Profiling must not perturb outcomes.
+		if a, b := plain[i].Result.Rounds, prof[i].Result.Rounds; a != b {
+			t.Errorf("point %d rounds %d != %d with profiling", i, a, b)
+		}
+		if a, b := len(plain[i].Result.Finished), len(prof[i].Result.Finished); a != b {
+			t.Errorf("point %d finished %d != %d with profiling", i, a, b)
+		}
+		if plain[i].Result.PhaseTotalsSeconds != nil {
+			t.Error("unprofiled run has phase totals")
+		}
+		if prof[i].Result.PhaseTotalsSeconds == nil {
+			t.Error("profiled run missing phase totals")
+		}
+	}
+
+	var plainTbl, profTbl strings.Builder
+	if err := Summarize(plain).Render(&plainTbl); err != nil {
+		t.Fatal(err)
+	}
+	if err := Summarize(prof).Render(&profTbl); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plainTbl.String(), "execute ms") {
+		t.Error("unprofiled table grew phase columns")
+	}
+	for _, col := range []string{"decide ms", "placement ms", "execute ms"} {
+		if !strings.Contains(profTbl.String(), col) {
+			t.Errorf("profiled table missing column %q:\n%s", col, profTbl.String())
+		}
+	}
+	g := Summarize(prof).Groups[0]
+	if g.PhaseMsPerRound == nil || g.PhaseMsPerRound["execute"].N != 3 {
+		t.Errorf("phase dist not aggregated across runs: %+v", g.PhaseMsPerRound)
+	}
+}

@@ -39,20 +39,69 @@ type Event struct {
 }
 
 // Log is an append-only event stream. Not safe for concurrent use.
+//
+// By default the log grows without bound. SetCap turns it into a
+// ring over the most recent events so unbounded-horizon runs and
+// long sweeps keep memory flat; Dropped reports how many events the
+// ring has discarded.
 type Log struct {
 	events []Event
+	max    int // 0 = unbounded
+	start  int // ring head when max > 0 and the ring is full
+	drops  int
 }
 
-// Append adds an event.
-func (l *Log) Append(e Event) { l.events = append(l.events, e) }
+// SetCap bounds the log to the most recent n events (ring
+// semantics). n <= 0 removes the bound. If more than n events are
+// already recorded, the oldest are dropped immediately.
+func (l *Log) SetCap(n int) {
+	l.events = l.Events() // linearize any existing ring
+	l.start = 0
+	if n <= 0 {
+		l.max = 0
+		return
+	}
+	l.max = n
+	if over := len(l.events) - n; over > 0 {
+		kept := make([]Event, n)
+		copy(kept, l.events[over:])
+		l.events = kept
+		l.drops += over
+	}
+}
+
+// Cap returns the configured bound (0 = unbounded).
+func (l *Log) Cap() int { return l.max }
+
+// Dropped returns how many events the cap has discarded.
+func (l *Log) Dropped() int { return l.drops }
+
+// Append adds an event, evicting the oldest when capped and full.
+func (l *Log) Append(e Event) {
+	if l.max > 0 && len(l.events) == l.max {
+		l.events[l.start] = e
+		l.start = (l.start + 1) % l.max
+		l.drops++
+		return
+	}
+	l.events = append(l.events, e)
+}
 
 // Add is a convenience constructor-append.
 func (l *Log) Add(at simclock.Time, kind Kind, j job.ID, u job.UserID, detail string) {
 	l.Append(Event{At: at, Kind: kind, Job: j, User: u, Detail: detail})
 }
 
-// Events returns the recorded stream. Callers must not mutate.
-func (l *Log) Events() []Event { return l.events }
+// Events returns the recorded stream oldest-first. Callers must not
+// mutate.
+func (l *Log) Events() []Event {
+	if l.start == 0 {
+		return l.events
+	}
+	out := make([]Event, 0, len(l.events))
+	out = append(out, l.events[l.start:]...)
+	return append(out, l.events[:l.start]...)
+}
 
 // Len returns the event count.
 func (l *Log) Len() int { return len(l.events) }
@@ -60,7 +109,7 @@ func (l *Log) Len() int { return len(l.events) }
 // Filter returns events of one kind.
 func (l *Log) Filter(kind Kind) []Event {
 	var out []Event
-	for _, e := range l.events {
+	for _, e := range l.Events() {
 		if e.Kind == kind {
 			out = append(out, e)
 		}
@@ -74,7 +123,7 @@ func (l *Log) WriteCSV(w io.Writer) error {
 	if err := cw.Write([]string{"at_seconds", "kind", "job", "user", "detail"}); err != nil {
 		return fmt.Errorf("trace: %w", err)
 	}
-	for _, e := range l.events {
+	for _, e := range l.Events() {
 		rec := []string{
 			strconv.FormatFloat(float64(e.At), 'f', 3, 64),
 			string(e.Kind),
@@ -90,11 +139,15 @@ func (l *Log) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// WriteJSON emits the stream as a JSON array.
+// WriteJSON emits the stream as a JSON array (empty logs emit []).
 func (l *Log) WriteJSON(w io.Writer) error {
+	events := l.Events()
+	if events == nil {
+		events = []Event{}
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(l.events); err != nil {
+	if err := enc.Encode(events); err != nil {
 		return fmt.Errorf("trace: %w", err)
 	}
 	return nil

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/job"
 	"repro/internal/simclock"
 )
 
@@ -136,5 +137,168 @@ func TestWriteErrorsPropagate(t *testing.T) {
 	}
 	if err := l.WriteJSON(&failWriter{n: 10}); err == nil {
 		t.Error("WriteJSON swallowed the writer error")
+	}
+}
+
+// TestExportRoundTripsEveryKind pushes one event of every Kind through
+// both exporters and back.
+func TestExportRoundTripsEveryKind(t *testing.T) {
+	kinds := []Kind{
+		KindArrival, KindStart, KindFinish, KindMigration,
+		KindTrade, KindRound, KindFailure, KindRecovery,
+	}
+	l := &Log{}
+	for i, k := range kinds {
+		l.Add(simclock.Time(i)*100, k, job.ID(int64(i+1)), "user-x", "d="+string(k))
+	}
+
+	var cbuf bytes.Buffer
+	if err := l.WriteCSV(&cbuf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&cbuf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(kinds)+1 {
+		t.Fatalf("%d CSV rows, want header+%d", len(rows), len(kinds))
+	}
+	for i, k := range kinds {
+		if rows[i+1][1] != string(k) || rows[i+1][4] != "d="+string(k) {
+			t.Errorf("CSV row %d = %v, want kind %s", i+1, rows[i+1], k)
+		}
+	}
+
+	var jbuf bytes.Buffer
+	if err := l.WriteJSON(&jbuf); err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	if err := json.Unmarshal(jbuf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range kinds {
+		if events[i].Kind != k || events[i].Job != job.ID(int64(i+1)) {
+			t.Errorf("JSON event %d = %+v, want kind %s", i, events[i], k)
+		}
+	}
+}
+
+// TestEmptyLogJSON checks an empty log exports [] rather than null.
+func TestEmptyLogJSON(t *testing.T) {
+	var l Log
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if s := strings.TrimSpace(buf.String()); s != "[]" {
+		t.Errorf("empty JSON export = %q, want []", s)
+	}
+	var events []Event
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Errorf("decoded %d events from empty log", len(events))
+	}
+}
+
+// TestNonASCIIDetail runs multibyte and quote-laden details through
+// both exporters: content must survive escaping byte-for-byte.
+func TestNonASCIIDetail(t *testing.T) {
+	details := []string{
+		"移行 K80→V100 α=1.4",
+		"préempté, «guillemets», ümlauts",
+		`comma, "quotes" and
+newline`,
+		"emoji ⚡🤝 trade",
+	}
+	l := &Log{}
+	for i, d := range details {
+		l.Add(simclock.Time(i), KindTrade, 1, "пользователь", d)
+	}
+
+	var cbuf bytes.Buffer
+	if err := l.WriteCSV(&cbuf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&cbuf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range details {
+		if rows[i+1][4] != d {
+			t.Errorf("CSV detail %d = %q, want %q", i+1, rows[i+1][4], d)
+		}
+		if rows[i+1][3] != "пользователь" {
+			t.Errorf("CSV user %d = %q", i+1, rows[i+1][3])
+		}
+	}
+
+	var jbuf bytes.Buffer
+	if err := l.WriteJSON(&jbuf); err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	if err := json.Unmarshal(jbuf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range details {
+		if events[i].Detail != d {
+			t.Errorf("JSON detail %d = %q, want %q", i, events[i].Detail, d)
+		}
+	}
+}
+
+// TestSetCapRingSemantics covers the bounded-log satellite: eviction
+// order, Dropped accounting, trimming on late SetCap, and unbounding.
+func TestSetCapRingSemantics(t *testing.T) {
+	l := &Log{}
+	l.SetCap(3)
+	if l.Cap() != 3 {
+		t.Fatalf("Cap = %d", l.Cap())
+	}
+	for i := 0; i < 7; i++ {
+		l.Add(simclock.Time(i), KindRound, job.ID(int64(i)), "u", "")
+	}
+	if l.Len() != 3 || l.Dropped() != 4 {
+		t.Fatalf("Len=%d Dropped=%d, want 3/4", l.Len(), l.Dropped())
+	}
+	ev := l.Events()
+	for i, want := range []int64{4, 5, 6} {
+		if int64(ev[i].Job) != want {
+			t.Errorf("event %d = job %d, want %d (newest kept, oldest-first order)", i, ev[i].Job, want)
+		}
+	}
+	// Exporters see the linearized ring.
+	var buf bytes.Buffer
+	if err := l.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := csv.NewReader(&buf).ReadAll()
+	if len(rows) != 4 || rows[1][2] != "4" {
+		t.Errorf("capped CSV export rows = %v", rows)
+	}
+
+	// Late SetCap trims the oldest immediately.
+	l2 := &Log{}
+	for i := 0; i < 5; i++ {
+		l2.Add(simclock.Time(i), KindRound, job.ID(int64(i)), "u", "")
+	}
+	l2.SetCap(2)
+	if l2.Len() != 2 || l2.Dropped() != 3 {
+		t.Fatalf("late cap: Len=%d Dropped=%d, want 2/3", l2.Len(), l2.Dropped())
+	}
+	if ev := l2.Events(); int64(ev[0].Job) != 3 || int64(ev[1].Job) != 4 {
+		t.Errorf("late cap kept %+v", ev)
+	}
+
+	// Unbounding keeps contents and stops evicting.
+	l2.SetCap(0)
+	for i := 5; i < 10; i++ {
+		l2.Add(simclock.Time(i), KindRound, job.ID(int64(i)), "u", "")
+	}
+	if l2.Len() != 7 || l2.Dropped() != 3 {
+		t.Errorf("after unbound: Len=%d Dropped=%d, want 7/3", l2.Len(), l2.Dropped())
 	}
 }
