@@ -12,10 +12,25 @@
 //	gfdist agent -connect 127.0.0.1:7070 -name agent-0 -gen V100 -gpus 4
 //
 // The agents exit when the central scheduler finishes and sends
-// Shutdown.
+// Shutdown. With -rejoin N an agent survives a central restart: when
+// its connection drops before Shutdown it re-dials and re-registers
+// up to N times.
+//
+// The central can persist its state each round with -snapshot-dir and
+// resume from the latest snapshot with -restore; after a restore it
+// waits for the known agents to re-register instead of admitting a
+// fresh workload.
+//
+// The chaos subcommand runs the fault-injection harness in-process
+// (in-memory transport): an undisturbed baseline and a faulted run
+// with agent kill/rejoin, plan drops, report delays, and a central
+// snapshot/restore, exiting nonzero if per-user usage diverges:
+//
+//	gfdist chaos -seed 42 -kill-at 1 -snapshot-at 2 -snapshot-dir /tmp/snap
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +55,8 @@ func main() {
 		runCentral(os.Args[2:])
 	case "agent":
 		runAgent(os.Args[2:])
+	case "chaos":
+		runChaos(os.Args[2:])
 	default:
 		usage()
 	}
@@ -48,7 +65,10 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   gfdist central -listen ADDR -agents N [-users N -jobs N -hours H -no-trading] [-http ADDR]
-  gfdist agent   -connect ADDR -name NAME -gen GEN -gpus N`)
+                 [-snapshot-dir DIR -snapshot-every N] [-restore]
+  gfdist agent   -connect ADDR -name NAME -gen GEN -gpus N [-rejoin N]
+  gfdist chaos   [-seed N -kill-at R -restart-after R -snapshot-at R -snapshot-dir DIR
+                 -drop-prob P -max-drops N]`)
 	os.Exit(2)
 }
 
@@ -66,8 +86,14 @@ func runCentral(args []string) {
 		noTrading = fs.Bool("no-trading", false, "disable resource trading")
 		waitSecs  = fs.Int("wait", 60, "seconds to wait for agent registration")
 		httpAddr  = fs.String("http", "", "serve /metrics, /healthz, /debug/sched on this address (e.g. :9090)")
+		snapDir   = fs.String("snapshot-dir", "", "persist scheduler state to this directory after rounds")
+		snapEvery = fs.Int("snapshot-every", 1, "snapshot every N rounds (with -snapshot-dir)")
+		restore   = fs.Bool("restore", false, "resume from the snapshot in -snapshot-dir instead of a fresh workload")
 	)
 	fs.Parse(args)
+	if *restore && *snapDir == "" {
+		fatal(fmt.Errorf("-restore needs -snapshot-dir"))
+	}
 
 	// The introspection server starts before agents register so
 	// operators (and the CI smoke test) can scrape from the first
@@ -89,42 +115,64 @@ func runCentral(args []string) {
 	defer srv.Close()
 	fmt.Printf("central scheduler listening on %s, waiting for %d agents...\n", srv.Addr(), *agents)
 
-	zoo := workload.DefaultZoo()
-	names := zoo.Names()
-	var userSpecs []workload.UserSpec
-	for i := 0; i < *users; i++ {
-		userSpecs = append(userSpecs, workload.UserSpec{
-			User:    job.UserID(fmt.Sprintf("user%02d", i+1)),
-			NumJobs: *jobs, MeanK80Hours: *meanHours,
-			Models: []string{names[i%len(names)], names[(i+5)%len(names)]},
-			// Demo deployments are small; keep gangs modest so every
-			// job fits a single server generation.
-			GangDist: []workload.GangWeight{
-				{Gang: 1, Weight: 0.7}, {Gang: 2, Weight: 0.2}, {Gang: 4, Weight: 0.1},
-			},
-		})
-	}
-	specs, err := workload.Generate(zoo, workload.Config{Seed: *seed, Users: userSpecs})
-	if err != nil {
-		fatal(err)
-	}
-
 	policy, err := core.NewFairPolicy(core.FairConfig{EnableTrading: !*noTrading})
 	if err != nil {
 		fatal(err)
 	}
-	central, err := distrib.NewCentral(srv, policy, distrib.CentralConfig{
-		Specs:   specs,
-		Quantum: *quantum,
-		Obs:     observer,
-	})
-	if err != nil {
-		fatal(err)
+	ccfg := distrib.CentralConfig{
+		Quantum:       *quantum,
+		Obs:           observer,
+		SnapshotDir:   *snapDir,
+		SnapshotEvery: *snapEvery,
 	}
-	if err := central.WaitForAgents(*agents, time.Duration(*waitSecs)*time.Second); err != nil {
-		fatal(err)
+	wait := time.Duration(*waitSecs) * time.Second
+
+	var central *distrib.Central
+	if *restore {
+		st, err := distrib.LoadSnapshot(*snapDir)
+		if err != nil {
+			fatal(err)
+		}
+		central, err = distrib.RestoreCentral(srv, policy, ccfg, st)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("restored snapshot from round %d; waiting for %d agents to rejoin...\n",
+			st.SavedRound, *agents)
+		if err := central.WaitForRejoin(*agents, wait); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%d agents rejoined; resuming schedule...\n", *agents)
+	} else {
+		zoo := workload.DefaultZoo()
+		names := zoo.Names()
+		var userSpecs []workload.UserSpec
+		for i := 0; i < *users; i++ {
+			userSpecs = append(userSpecs, workload.UserSpec{
+				User:    job.UserID(fmt.Sprintf("user%02d", i+1)),
+				NumJobs: *jobs, MeanK80Hours: *meanHours,
+				Models: []string{names[i%len(names)], names[(i+5)%len(names)]},
+				// Demo deployments are small; keep gangs modest so every
+				// job fits a single server generation.
+				GangDist: []workload.GangWeight{
+					{Gang: 1, Weight: 0.7}, {Gang: 2, Weight: 0.2}, {Gang: 4, Weight: 0.1},
+				},
+			})
+		}
+		specs, err := workload.Generate(zoo, workload.Config{Seed: *seed, Users: userSpecs})
+		if err != nil {
+			fatal(err)
+		}
+		ccfg.Specs = specs
+		central, err = distrib.NewCentral(srv, policy, ccfg)
+		if err != nil {
+			fatal(err)
+		}
+		if err := central.WaitForAgents(*agents, wait); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%d agents registered; scheduling %d jobs...\n", *agents, len(specs))
 	}
-	fmt.Printf("%d agents registered; scheduling %d jobs...\n", *agents, len(specs))
 
 	sum, err := central.Run(*rounds)
 	if err != nil {
@@ -150,6 +198,7 @@ func runAgent(args []string) {
 		name    = fs.String("name", "", "unique agent name (required)")
 		genStr  = fs.String("gen", "V100", "GPU generation of this server")
 		gpus    = fs.Int("gpus", 4, "GPUs on this server")
+		rejoins = fs.Int("rejoin", 0, "re-dial and re-register up to N times if the central goes away")
 	)
 	fs.Parse(args)
 	if *name == "" {
@@ -159,20 +208,86 @@ func runAgent(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	cli, err := comm.DialTCP(*name, *connect)
+	for attempt := 0; ; attempt++ {
+		err := serveOnce(*name, *connect, gen, *gpus)
+		if err == nil {
+			fmt.Println("shut down by central scheduler")
+			return
+		}
+		// Only a dropped transport is worth a rejoin; protocol errors
+		// (rejected registration, bad plan) are fatal either way.
+		if !errors.Is(err, distrib.ErrTransportClosed) || attempt >= *rejoins {
+			fatal(err)
+		}
+		delay := time.Duration(1<<uint(min(attempt, 4))) * time.Second
+		fmt.Fprintf(os.Stderr, "gfdist: central unreachable (%v); rejoining in %v (attempt %d/%d)\n",
+			err, delay, attempt+1, *rejoins)
+		time.Sleep(delay)
+	}
+}
+
+// serveOnce dials the central, registers, and serves rounds until
+// Shutdown or transport loss.
+func serveOnce(name, connect string, gen gpu.Generation, gpus int) error {
+	cli, err := comm.DialTCP(name, connect)
 	if err != nil {
-		fatal(err)
+		// A refused dial during a central restart behaves like a
+		// dropped transport: eligible for rejoin.
+		return fmt.Errorf("%w: %v", distrib.ErrTransportClosed, err)
 	}
 	defer cli.Close()
-	agent, err := distrib.NewAgent(cli, "central", gen, *gpus)
+	agent, err := distrib.NewAgent(cli, "central", gen, gpus)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("agent %s (%d× %v) serving %s\n", name, gpus, gen, connect)
+	return agent.Run()
+}
+
+func runChaos(args []string) {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	var (
+		seed         = fs.Int64("seed", 42, "deterministic fault-script seed")
+		killAt       = fs.Int("kill-at", 1, "kill a busy agent after this round (0 = never)")
+		restartAfter = fs.Int("restart-after", 2, "rounds between kill and restart")
+		snapAt       = fs.Int("snapshot-at", 0, "crash+restore the central after this round (0 = never)")
+		snapDir      = fs.String("snapshot-dir", "", "snapshot directory (required with -snapshot-at)")
+		dropProb     = fs.Float64("drop-prob", 0.3, "per-plan drop probability")
+		maxDrops     = fs.Int("max-drops", 2, "cap on dropped plans")
+		delayMS      = fs.Int("max-delay-ms", 5, "report delay upper bound, milliseconds")
+	)
+	fs.Parse(args)
+
+	sum, err := distrib.RunChaos(distrib.ChaosConfig{
+		Seed:               *seed,
+		DropProb:           *dropProb,
+		MaxDrops:           *maxDrops,
+		MaxDelay:           time.Duration(*delayMS) * time.Millisecond,
+		KillAtRound:        *killAt,
+		RestartAfterRounds: *restartAfter,
+		SnapshotAtRound:    *snapAt,
+		SnapshotDir:        *snapDir,
+	})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("agent %s (%d× %v) serving %s\n", *name, *gpus, gen, *connect)
-	if err := agent.Run(); err != nil {
-		fatal(err)
+	fmt.Printf("chaos run survived: %d baseline rounds, %d faulted rounds, %d plans dropped\n",
+		sum.Baseline.Rounds, sum.Faulted.Rounds, sum.DroppedPlans)
+	for _, e := range sum.Events {
+		fmt.Println("  fault:", e)
 	}
-	fmt.Println("shut down by central scheduler")
+	var us []job.UserID
+	for u := range sum.Baseline.UsageByUser {
+		us = append(us, u)
+	}
+	sort.Slice(us, func(i, j int) bool { return us[i] < us[j] })
+	fmt.Println("per-user occupied GPU-seconds (baseline == faulted):")
+	for _, u := range us {
+		fmt.Printf("  %-8s %10.1f == %10.1f\n", u, sum.Baseline.UsageByUser[u], sum.Faulted.UsageByUser[u])
+	}
+	if !sum.UsageIdentical() {
+		fatal(fmt.Errorf("usage diverged"))
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,427 @@
+package distrib
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/job"
+	"repro/internal/obs"
+	"repro/internal/simclock"
+	"repro/internal/workload"
+)
+
+// ChaosConfig scripts a deterministic fault-injection run of the
+// distributed deployment over the in-memory hub: an undisturbed
+// baseline and a faulted run share one workload, and the harness
+// asserts the faulted run still terminates with exactly the
+// baseline's per-user usage accounting.
+//
+// Faults injected (all on a fixed seed):
+//   - one agent is killed after KillAtRound and restarted
+//     RestartAfterRounds later; it rejoins via re-registration;
+//   - round plans are dropped with probability DropProb (at most
+//     MaxDrops total), exercising the report-timeout path;
+//   - agent reports are delayed by up to MaxDelay;
+//   - the central scheduler is "crashed" after SnapshotAtRound and
+//     rebuilt from its on-disk snapshot.
+type ChaosConfig struct {
+	Seed int64
+
+	// Workload shape: Users users × JobsPerUser single-GPU jobs each,
+	// every job sized to JobQuanta scheduling quanta of useful work
+	// plus half a quantum of slack (so fault overheads never push a
+	// job into an extra round and usage totals stay comparable).
+	// Defaults: 2 users × 2 jobs of 4.5 quanta.
+	Users       int
+	JobsPerUser int
+	JobQuanta   float64
+
+	// Cluster shape: Agents servers (default 3) of GPUsPerAgent K80s
+	// (default 2). Capacity must survive one kill without contention;
+	// the defaults leave 4 GPUs for 4 jobs after the kill.
+	Agents       int
+	GPUsPerAgent int
+
+	Quantum       simclock.Duration // default 360
+	MaxRounds     int               // faulted-run round budget (default 60)
+	ReportTimeout time.Duration     // default 300ms
+
+	DropProb float64       // per-plan drop probability (default 0)
+	MaxDrops int           // cap on dropped plans (default 2)
+	MaxDelay time.Duration // report delay upper bound (default 0)
+
+	KillAtRound        int // kill a busy agent after this round (0 = no kill)
+	RestartAfterRounds int // rejoin delay in rounds (default 2)
+
+	SnapshotAtRound int    // crash+restore the central after this round (0 = never)
+	SnapshotDir     string // required when SnapshotAtRound > 0
+
+	Obs *obs.Observer // instruments the faulted run's central (optional)
+}
+
+func (cfg ChaosConfig) withDefaults() ChaosConfig {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Users <= 0 {
+		cfg.Users = 2
+	}
+	if cfg.JobsPerUser <= 0 {
+		cfg.JobsPerUser = 2
+	}
+	if cfg.JobQuanta <= 0 {
+		cfg.JobQuanta = 4.5
+	}
+	if cfg.Agents <= 0 {
+		cfg.Agents = 3
+	}
+	if cfg.GPUsPerAgent <= 0 {
+		cfg.GPUsPerAgent = 2
+	}
+	if cfg.Quantum == 0 {
+		cfg.Quantum = 360
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = 60
+	}
+	if cfg.ReportTimeout == 0 {
+		cfg.ReportTimeout = 300 * time.Millisecond
+	}
+	if cfg.MaxDrops == 0 {
+		cfg.MaxDrops = 2
+	}
+	if cfg.RestartAfterRounds <= 0 {
+		cfg.RestartAfterRounds = 2
+	}
+	return cfg
+}
+
+// ChaosSummary is the outcome of both runs plus the fault log.
+type ChaosSummary struct {
+	Baseline *Summary
+	Faulted  *Summary
+	// Events chronicles the injected faults ("kill agent-1", ...).
+	Events []string
+	// DroppedPlans is how many round plans the chaos layer swallowed.
+	DroppedPlans int
+}
+
+// UsageIdentical reports whether both runs finished with exactly the
+// same per-user occupied GPU-seconds.
+func (s *ChaosSummary) UsageIdentical() bool {
+	if len(s.Baseline.UsageByUser) != len(s.Faulted.UsageByUser) {
+		return false
+	}
+	for u, b := range s.Baseline.UsageByUser {
+		f, ok := s.Faulted.UsageByUser[u]
+		if !ok || b != f {
+			return false
+		}
+	}
+	return true
+}
+
+// chaosSend wraps the central's transport, dropping outbound round
+// plans with a seeded probability (up to a cap).
+type chaosSend struct {
+	comm.Transport
+	mu       sync.Mutex
+	rng      *rand.Rand
+	dropProb float64
+	maxDrops int
+	dropped  int
+}
+
+func (t *chaosSend) Send(to string, e comm.Envelope) error {
+	if _, isPlan := e.Msg.(comm.RoundPlan); isPlan && t.dropProb > 0 {
+		t.mu.Lock()
+		drop := t.dropped < t.maxDrops && t.rng.Float64() < t.dropProb
+		if drop {
+			t.dropped++
+		}
+		t.mu.Unlock()
+		if drop {
+			return nil // swallowed by the "network"
+		}
+	}
+	return t.Transport.Send(to, e)
+}
+
+// delaySend wraps an agent's transport, delaying outbound reports by
+// a seeded random fraction of maxDelay.
+type delaySend struct {
+	comm.Transport
+	mu       sync.Mutex
+	rng      *rand.Rand
+	maxDelay time.Duration
+}
+
+func (t *delaySend) Send(to string, e comm.Envelope) error {
+	if _, isRep := e.Msg.(comm.RoundReport); isRep && t.maxDelay > 0 {
+		t.mu.Lock()
+		d := time.Duration(t.rng.Float64() * float64(t.maxDelay))
+		t.mu.Unlock()
+		time.Sleep(d)
+	}
+	return t.Transport.Send(to, e)
+}
+
+// chaosSpecs builds the shared workload: identical single-GPU jobs
+// per user, each sized to JobQuanta quanta of useful K80 time.
+func chaosSpecs(cfg ChaosConfig) ([]job.Spec, error) {
+	zoo := workload.DefaultZoo()
+	models := []string{"lstm", "gru", "vae", "resnet50"}
+	hours := cfg.JobQuanta * float64(cfg.Quantum) / simclock.Hour
+	var specs []job.Spec
+	for u := 0; u < cfg.Users; u++ {
+		user := job.UserID(fmt.Sprintf("user%02d", u+1))
+		perf := zoo.MustGet(models[u%len(models)])
+		specs = append(specs, workload.BatchJobs(user, perf, cfg.JobsPerUser, 1, hours)...)
+	}
+	return workload.AssignIDs(specs)
+}
+
+// fastRetry keeps chaos runs quick: tight backoff, deterministic.
+func fastRetry(seed int64) comm.RetryPolicy {
+	return comm.RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    5 * time.Millisecond,
+		Seed:        seed,
+	}
+}
+
+type chaosAgent struct {
+	tr   comm.Transport
+	done chan error
+}
+
+func startChaosAgent(hub *comm.Hub, name string, gpus int, seed int64, maxDelay time.Duration) (*chaosAgent, error) {
+	tr, err := hub.Attach(name)
+	if err != nil {
+		return nil, err
+	}
+	var wire comm.Transport = tr
+	if maxDelay > 0 {
+		wire = &delaySend{Transport: tr, rng: rand.New(rand.NewSource(seed)), maxDelay: maxDelay}
+	}
+	a, err := NewAgent(wire, "central", gpu.K80, gpus)
+	if err != nil {
+		tr.Close()
+		return nil, err
+	}
+	a.SetRetry(fastRetry(seed))
+	ca := &chaosAgent{tr: tr, done: make(chan error, 1)}
+	go func() { ca.done <- a.Run() }()
+	return ca, nil
+}
+
+// runUndisturbed executes the baseline: same workload and cluster, no
+// faults.
+func runUndisturbed(cfg ChaosConfig, specs []job.Spec) (*Summary, error) {
+	hub := comm.NewHub()
+	ctr, err := hub.Attach("central")
+	if err != nil {
+		return nil, err
+	}
+	agents := make([]*chaosAgent, cfg.Agents)
+	for i := range agents {
+		if agents[i], err = startChaosAgent(hub, fmt.Sprintf("agent-%d", i), cfg.GPUsPerAgent, cfg.Seed+int64(i), 0); err != nil {
+			return nil, err
+		}
+	}
+	central, err := NewCentral(ctr, core.MustNewFairPolicy(core.FairConfig{}), CentralConfig{
+		Specs:         specs,
+		Quantum:       cfg.Quantum,
+		ReportTimeout: cfg.ReportTimeout,
+		Retry:         fastRetry(cfg.Seed),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := central.WaitForAgents(cfg.Agents, 10*time.Second); err != nil {
+		return nil, err
+	}
+	sum, err := central.Run(cfg.MaxRounds)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range agents {
+		if err := waitAgent(a); err != nil {
+			return nil, fmt.Errorf("distrib: baseline agent: %w", err)
+		}
+	}
+	return sum, nil
+}
+
+func waitAgent(a *chaosAgent) error {
+	select {
+	case err := <-a.done:
+		return err
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("agent did not shut down")
+	}
+}
+
+// RunChaos executes the baseline and the faulted run and verifies the
+// invariants the distributed runtime promises under churn: the
+// faulted run terminates, every job finishes, per-user useful service
+// never exceeds occupied service, and — because job sizing leaves
+// fault overheads inside each job's slack — per-user occupied usage
+// is byte-identical to the undisturbed run's.
+func RunChaos(cfg ChaosConfig) (*ChaosSummary, error) {
+	cfg = cfg.withDefaults()
+	if cfg.SnapshotAtRound > 0 && cfg.SnapshotDir == "" {
+		return nil, fmt.Errorf("distrib: SnapshotAtRound needs SnapshotDir")
+	}
+	specs, err := chaosSpecs(cfg)
+	if err != nil {
+		return nil, err
+	}
+	baseline, err := runUndisturbed(cfg, specs)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: baseline run: %w", err)
+	}
+	if baseline.Unfinished != 0 {
+		return nil, fmt.Errorf("distrib: baseline left %d jobs unfinished", baseline.Unfinished)
+	}
+
+	out := &ChaosSummary{Baseline: baseline}
+
+	hub := comm.NewHub()
+	ctr, err := hub.Attach("central")
+	if err != nil {
+		return nil, err
+	}
+	wire := &chaosSend{
+		Transport: ctr,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		dropProb:  cfg.DropProb,
+		maxDrops:  cfg.MaxDrops,
+	}
+	agents := make(map[string]*chaosAgent, cfg.Agents)
+	for i := 0; i < cfg.Agents; i++ {
+		name := fmt.Sprintf("agent-%d", i)
+		a, err := startChaosAgent(hub, name, cfg.GPUsPerAgent, cfg.Seed+int64(i), cfg.MaxDelay)
+		if err != nil {
+			return nil, err
+		}
+		agents[name] = a
+	}
+	ccfg := CentralConfig{
+		Specs:         specs,
+		Quantum:       cfg.Quantum,
+		ReportTimeout: cfg.ReportTimeout,
+		Retry:         fastRetry(cfg.Seed),
+		SnapshotDir:   cfg.SnapshotDir,
+		Obs:           cfg.Obs,
+	}
+	central, err := NewCentral(ctr, core.MustNewFairPolicy(core.FairConfig{}), ccfg)
+	if err != nil {
+		return nil, err
+	}
+	// The central speaks through the fault-injecting wire.
+	central.tr = wire
+	if err := central.WaitForAgents(cfg.Agents, 10*time.Second); err != nil {
+		return nil, err
+	}
+
+	var (
+		victim    string
+		killed    bool
+		restarted bool
+		restored  bool
+		faulted   *Summary
+	)
+	for step := 0; step < cfg.MaxRounds; step++ {
+		sum, err := central.Steps(1)
+		if err != nil {
+			return nil, fmt.Errorf("distrib: faulted run, round %d: %w", sum.Rounds, err)
+		}
+		faulted = sum
+		if sum.Unfinished == 0 {
+			break
+		}
+		round := sum.Rounds
+
+		if cfg.KillAtRound > 0 && !killed && round >= cfg.KillAtRound {
+			busy := central.BusyAgents()
+			if len(busy) > 0 {
+				victim = busy[len(busy)-1]
+				agents[victim].tr.Close()
+				if err := waitAgent(agents[victim]); err != ErrTransportClosed && err != nil {
+					return nil, fmt.Errorf("distrib: killed agent exited oddly: %w", err)
+				}
+				killed = true
+				out.Events = append(out.Events, fmt.Sprintf("round %d: killed %s", round, victim))
+			}
+		}
+		if killed && !restarted && round >= cfg.KillAtRound+cfg.RestartAfterRounds {
+			a, err := startChaosAgent(hub, victim, cfg.GPUsPerAgent, cfg.Seed+100, cfg.MaxDelay)
+			if err != nil {
+				return nil, fmt.Errorf("distrib: restarting %s: %w", victim, err)
+			}
+			agents[victim] = a
+			restarted = true
+			out.Events = append(out.Events, fmt.Sprintf("round %d: restarted %s (rejoin)", round, victim))
+		}
+		if cfg.SnapshotAtRound > 0 && !restored && round >= cfg.SnapshotAtRound {
+			st, err := LoadSnapshot(cfg.SnapshotDir)
+			if err != nil {
+				return nil, fmt.Errorf("distrib: loading snapshot: %w", err)
+			}
+			central, err = RestoreCentral(wire, core.MustNewFairPolicy(core.FairConfig{}), ccfg, st)
+			if err != nil {
+				return nil, fmt.Errorf("distrib: restoring central: %w", err)
+			}
+			restored = true
+			out.Events = append(out.Events,
+				fmt.Sprintf("round %d: central crashed, restored from snapshot at round %d", round, st.SavedRound))
+		}
+	}
+	central.ShutdownAgents()
+	for name, a := range agents {
+		if err := waitAgent(a); err != nil {
+			return nil, fmt.Errorf("distrib: faulted agent %s: %w", name, err)
+		}
+	}
+	out.Faulted = faulted
+	out.DroppedPlans = wire.dropped
+
+	// Invariants.
+	if faulted == nil || faulted.Unfinished != 0 {
+		n := -1
+		if faulted != nil {
+			n = faulted.Unfinished
+		}
+		return nil, fmt.Errorf("distrib: faulted run left %d jobs unfinished after %d rounds", n, cfg.MaxRounds)
+	}
+	useful := make(map[job.UserID]float64)
+	for _, j := range faulted.Finished {
+		useful[j.User] += j.AttainedService()
+	}
+	for u, us := range useful {
+		if occ := faulted.UsageByUser[u]; us > occ+1e-6 {
+			return nil, fmt.Errorf("distrib: user %s useful %v exceeds occupied %v", u, us, occ)
+		}
+	}
+	if !out.UsageIdentical() {
+		return nil, fmt.Errorf("distrib: per-user usage diverged: baseline %v, faulted %v",
+			baseline.UsageByUser, faulted.UsageByUser)
+	}
+	// Guard against a degenerate comparison (nothing ran at all).
+	var total float64
+	for _, v := range faulted.UsageByUser {
+		total += v
+	}
+	if total <= 0 || math.IsNaN(total) {
+		return nil, fmt.Errorf("distrib: faulted run recorded no usage")
+	}
+	return out, nil
+}

@@ -1,0 +1,117 @@
+package distrib
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// The acceptance run: one agent killed mid-run and rejoining, the
+// central crashed and restored from a snapshot, plans dropped and
+// reports delayed — and per-user usage must still come out
+// byte-identical to the undisturbed baseline.
+func TestChaosKillRejoinSnapshotRestore(t *testing.T) {
+	ob := obs.New()
+	sum, err := RunChaos(ChaosConfig{
+		Seed:               42,
+		DropProb:           0.3,
+		MaxDrops:           2,
+		MaxDelay:           5 * time.Millisecond,
+		KillAtRound:        1,
+		RestartAfterRounds: 2,
+		SnapshotAtRound:    2,
+		SnapshotDir:        t.TempDir(),
+		Obs:                ob,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Baseline.Unfinished != 0 || sum.Faulted.Unfinished != 0 {
+		t.Fatalf("unfinished jobs: baseline %d, faulted %d",
+			sum.Baseline.Unfinished, sum.Faulted.Unfinished)
+	}
+	if !sum.UsageIdentical() {
+		t.Errorf("usage diverged:\nbaseline %v\nfaulted  %v",
+			sum.Baseline.UsageByUser, sum.Faulted.UsageByUser)
+	}
+	var sawKill, sawRejoin, sawRestore bool
+	for _, e := range sum.Events {
+		switch {
+		case strings.Contains(e, "killed"):
+			sawKill = true
+		case strings.Contains(e, "rejoin"):
+			sawRejoin = true
+		case strings.Contains(e, "restored from snapshot"):
+			sawRestore = true
+		}
+	}
+	if !sawKill || !sawRejoin || !sawRestore {
+		t.Errorf("missing chaos events (kill=%v rejoin=%v restore=%v): %v",
+			sawKill, sawRejoin, sawRestore, sum.Events)
+	}
+	t.Logf("events: %v; dropped plans: %d", sum.Events, sum.DroppedPlans)
+}
+
+// Same seed twice must produce the same fault script and outcome.
+func TestChaosDeterministic(t *testing.T) {
+	cfg := ChaosConfig{
+		Seed:               7,
+		DropProb:           0.5,
+		MaxDrops:           2,
+		KillAtRound:        2,
+		RestartAfterRounds: 1,
+	}
+	a, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DroppedPlans != b.DroppedPlans {
+		t.Errorf("dropped plans differ across identical seeds: %d vs %d",
+			a.DroppedPlans, b.DroppedPlans)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event logs differ: %v vs %v", a.Events, b.Events)
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Errorf("event %d differs: %q vs %q", i, a.Events[i], b.Events[i])
+		}
+	}
+	for u, s := range a.Faulted.UsageByUser {
+		if b.Faulted.UsageByUser[u] != s {
+			t.Errorf("usage for %s differs across identical seeds", u)
+		}
+	}
+}
+
+// Drops alone: a swallowed round plan stalls that agent's jobs for a
+// round but the on-the-wire checkpoints mean no progress or usage is
+// ever double-counted.
+func TestChaosPlanDropsOnly(t *testing.T) {
+	sum, err := RunChaos(ChaosConfig{
+		Seed:     3,
+		DropProb: 1.0, // drop the first MaxDrops plans outright
+		MaxDrops: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.DroppedPlans == 0 {
+		t.Fatal("chaos layer dropped nothing despite DropProb=1")
+	}
+	if !sum.UsageIdentical() {
+		t.Errorf("usage diverged after %d dropped plans:\nbaseline %v\nfaulted  %v",
+			sum.DroppedPlans, sum.Baseline.UsageByUser, sum.Faulted.UsageByUser)
+	}
+	// Dropped plans cost wall-clock rounds, never accounting.
+	if sum.Faulted.Rounds < sum.Baseline.Rounds {
+		t.Errorf("faulted run took fewer rounds (%d) than baseline (%d)",
+			sum.Faulted.Rounds, sum.Baseline.Rounds)
+	}
+}

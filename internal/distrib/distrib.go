@@ -11,6 +11,7 @@
 package distrib
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -26,6 +27,11 @@ import (
 	"repro/internal/simclock"
 )
 
+// ErrTransportClosed reports that an agent's transport closed before
+// the central scheduler sent Shutdown — a central crash or network
+// partition. Callers that support rejoin redial and Run again.
+var ErrTransportClosed = errors.New("distrib: transport closed before shutdown")
+
 // Agent executes round plans for one server. Run blocks until
 // Shutdown or transport closure.
 type Agent struct {
@@ -34,11 +40,26 @@ type Agent struct {
 	gen     gpu.Generation
 	gpus    int
 	obs     *obs.Observer
+	retry   *comm.Retrier
 }
 
 // SetObserver attaches instrumentation (nil is fine and is the
 // default: every observer method is nil-safe).
 func (a *Agent) SetObserver(o *obs.Observer) { a.obs = o }
+
+// SetRetry replaces the default send retry/backoff policy.
+func (a *Agent) SetRetry(pol comm.RetryPolicy) { a.retry = a.newRetrier(pol) }
+
+func (a *Agent) newRetrier(pol comm.RetryPolicy) *comm.Retrier {
+	user := pol.OnRetry
+	pol.OnRetry = func(n int, err error) {
+		a.obs.NoteProtocol("send_retry")
+		if user != nil {
+			user(n, err)
+		}
+	}
+	return comm.NewRetrier(pol)
+}
 
 // NewAgent wires an agent for a server of gpus devices of one
 // generation.
@@ -49,13 +70,18 @@ func NewAgent(tr comm.Transport, central string, gen gpu.Generation, gpus int) (
 	if !gen.Valid() || gpus <= 0 {
 		return nil, fmt.Errorf("distrib: invalid server inventory")
 	}
-	return &Agent{tr: tr, central: central, gen: gen, gpus: gpus}, nil
+	a := &Agent{tr: tr, central: central, gen: gen, gpus: gpus}
+	a.retry = a.newRetrier(comm.RetryPolicy{})
+	return a, nil
 }
 
 // Run registers with the central scheduler and serves round plans
-// until shut down.
+// until shut down. Sends go through the retry/backoff policy, so a
+// transient wire failure does not kill the agent. Returns
+// ErrTransportClosed when the connection dies before Shutdown, so
+// supervisors can distinguish a crash from a clean exit.
 func (a *Agent) Run() error {
-	err := a.tr.Send(a.central, comm.Envelope{From: a.tr.Name(), Msg: comm.Register{
+	err := a.retry.Send(a.tr, a.central, comm.Envelope{From: a.tr.Name(), Msg: comm.Register{
 		Agent: a.tr.Name(), Gen: int(a.gen), GPUs: a.gpus,
 	}})
 	if err != nil {
@@ -71,7 +97,7 @@ func (a *Agent) Run() error {
 		case comm.RoundPlan:
 			a.obs.NoteProtocol("plan_received")
 			rep := a.execute(m)
-			if err := a.tr.Send(a.central, comm.Envelope{From: a.tr.Name(), Msg: rep}); err != nil {
+			if err := a.retry.Send(a.tr, a.central, comm.Envelope{From: a.tr.Name(), Msg: rep}); err != nil {
 				return err
 			}
 			a.obs.NoteProtocol("report_sent")
@@ -79,7 +105,7 @@ func (a *Agent) Run() error {
 			return nil
 		}
 	}
-	return nil
+	return ErrTransportClosed
 }
 
 // execute runs one quantum's worth of training for the assigned jobs.
@@ -147,6 +173,20 @@ type CentralConfig struct {
 	// means 50.
 	MaxAgentTimeouts int
 
+	// Retry shapes the send retry/backoff (capped exponential with
+	// jitter) wrapped around every plan, ack and shutdown send.
+	// Zero-value fields take comm's documented defaults.
+	Retry comm.RetryPolicy
+
+	// SnapshotDir, when non-empty, persists the scheduler's full
+	// state (jobs, usage, failure-detector counters) to
+	// SnapshotDir/central.snap.json after every SnapshotEvery rounds
+	// so a crashed coordinator can resume via RestoreCentral.
+	SnapshotDir string
+
+	// SnapshotEvery is the snapshot period in rounds (default 1).
+	SnapshotEvery int
+
 	// Obs receives metrics, phase timings, and decision explanations
 	// for the central scheduler. Nil disables instrumentation at zero
 	// cost (all observer methods are nil-safe).
@@ -166,7 +206,10 @@ type Central struct {
 	// serverOf maps cluster ServerID → agent index.
 	serverOf map[gpu.ServerID]int
 
+	retry *comm.Retrier
+
 	now      simclock.Time
+	rounds   int // scheduling rounds executed (idle quanta excluded)
 	timeouts int
 	missed   map[string]int // consecutive missed reports per agent
 	pending  []job.Spec
@@ -223,6 +266,7 @@ func NewCentral(tr comm.Transport, policy core.Policy, cfg CentralConfig) (*Cent
 		prevGen:  make(map[job.ID]gpu.Generation),
 		usage:    make(map[job.UserID]float64),
 	}
+	c.retry = c.newRetrier()
 	c.pending = make([]job.Spec, len(cfg.Specs))
 	copy(c.pending, cfg.Specs)
 	sort.SliceStable(c.pending, func(i, j int) bool { return c.pending[i].Arrival < c.pending[j].Arrival })
@@ -237,8 +281,25 @@ func NewCentral(tr comm.Transport, policy core.Policy, cfg CentralConfig) (*Cent
 	return c, nil
 }
 
-// WaitForAgents blocks until n agents registered (or timeout), builds
-// the cluster inventory from their announcements, and acks each.
+// newRetrier builds the central's send retrier, instrumenting every
+// retry through the observer.
+func (c *Central) newRetrier() *comm.Retrier {
+	pol := c.cfg.Retry
+	user := pol.OnRetry
+	pol.OnRetry = func(n int, err error) {
+		c.cfg.Obs.NoteProtocol("send_retry")
+		if user != nil {
+			user(n, err)
+		}
+	}
+	return comm.NewRetrier(pol)
+}
+
+// WaitForAgents blocks until n distinct agents registered (or
+// timeout), builds the cluster inventory from their announcements,
+// and acks each. A retried registration for an already-known name is
+// idempotent when the inventory matches and rejected when it does
+// not, so duplicate Register messages cannot corrupt the inventory.
 func (c *Central) WaitForAgents(n int, timeout time.Duration) error {
 	deadline := time.After(timeout)
 	for len(c.agents) < n {
@@ -253,8 +314,18 @@ func (c *Central) WaitForAgents(n int, timeout time.Duration) error {
 			}
 			g := gpu.Generation(reg.Gen)
 			if !g.Valid() || reg.GPUs <= 0 {
-				c.tr.Send(reg.Agent, comm.Envelope{From: c.tr.Name(),
-					Msg: comm.RegisterAck{OK: false, Reason: "invalid inventory"}})
+				c.ackRegister(reg.Agent, false, "invalid inventory")
+				continue
+			}
+			if i := c.agentIndex(reg.Agent); i >= 0 {
+				if c.agents[i].gen == g && c.agents[i].gpus == reg.GPUs {
+					// Retried registration: already recorded, one ack
+					// below covers it.
+					c.cfg.Obs.NoteProtocol("register_duplicate")
+				} else {
+					c.ackRegister(reg.Agent, false, fmt.Sprintf(
+						"agent %q already registered with %d× %v", reg.Agent, c.agents[i].gpus, c.agents[i].gen))
+				}
 				continue
 			}
 			c.agents = append(c.agents, agentInfo{name: reg.Agent, gen: g, gpus: reg.GPUs})
@@ -263,7 +334,36 @@ func (c *Central) WaitForAgents(n int, timeout time.Duration) error {
 			return fmt.Errorf("distrib: only %d of %d agents registered", len(c.agents), n)
 		}
 	}
-	// Deterministic server IDs: sort agents by name, one server each.
+	if err := c.buildCluster(); err != nil {
+		return err
+	}
+	// Reject jobs that can never be placed on the registered
+	// inventory (a gang needs one generation with enough GPUs).
+	for i := range c.pending {
+		sp := &c.pending[i]
+		placeable := false
+		for _, g := range c.cluster.GensPresent() {
+			if sp.Perf.FitsOn(g) && sp.Gang <= c.cluster.Capacity(g) {
+				placeable = true
+				break
+			}
+		}
+		if !placeable {
+			return fmt.Errorf("distrib: job %d (gang %d, %s) fits no registered generation",
+				sp.ID, sp.Gang, sp.Perf.Model)
+		}
+	}
+	for _, a := range c.agents {
+		if err := c.retry.Send(c.tr, a.name, comm.Envelope{From: c.tr.Name(), Msg: comm.RegisterAck{OK: true}}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildCluster derives deterministic server IDs from the registered
+// agents: sort by name, one server each.
+func (c *Central) buildCluster() error {
 	sort.Slice(c.agents, func(i, j int) bool { return c.agents[i].name < c.agents[j].name })
 	specs := make([]gpu.Spec, len(c.agents))
 	for i, a := range c.agents {
@@ -277,32 +377,76 @@ func (c *Central) WaitForAgents(n int, timeout time.Duration) error {
 	for i, srv := range cluster.Servers() {
 		c.serverOf[srv.ID] = i
 	}
-	// Reject jobs that can never be placed on the registered
-	// inventory (a gang needs one generation with enough GPUs).
-	for i := range c.pending {
-		sp := &c.pending[i]
-		placeable := false
-		for _, g := range cluster.GensPresent() {
-			if sp.Perf.FitsOn(g) && sp.Gang <= cluster.Capacity(g) {
-				placeable = true
-				break
-			}
-		}
-		if !placeable {
-			return fmt.Errorf("distrib: job %d (gang %d, %s) fits no registered generation",
-				sp.ID, sp.Gang, sp.Perf.Model)
-		}
-	}
-	for _, a := range c.agents {
-		if err := c.tr.Send(a.name, comm.Envelope{From: c.tr.Name(), Msg: comm.RegisterAck{OK: true}}); err != nil {
-			return err
-		}
-	}
 	return nil
+}
+
+// agentIndex returns the index of the named agent, or -1.
+func (c *Central) agentIndex(name string) int {
+	for i, a := range c.agents {
+		if a.name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ackRegister answers a Register best-effort (the agent re-registers
+// if the ack is lost, so a failed ack send is not fatal).
+func (c *Central) ackRegister(agent string, ok bool, reason string) {
+	c.retry.Send(c.tr, agent, comm.Envelope{From: c.tr.Name(),
+		Msg: comm.RegisterAck{OK: ok, Reason: reason}})
+}
+
+// handleRejoin reconciles a mid-run re-registration against the
+// fixed inventory: a known agent announcing its original inventory
+// is welcomed back (its server is marked up and its failure counter
+// reset); anything else is rejected with a reason. Returns whether
+// the rejoin was accepted.
+func (c *Central) handleRejoin(reg comm.Register) bool {
+	g := gpu.Generation(reg.Gen)
+	i := c.agentIndex(reg.Agent)
+	switch {
+	case i < 0:
+		c.ackRegister(reg.Agent, false, fmt.Sprintf(
+			"unknown agent %q: the inventory is fixed after startup", reg.Agent))
+	case c.agents[i].gen != g || c.agents[i].gpus != reg.GPUs:
+		c.ackRegister(reg.Agent, false, fmt.Sprintf(
+			"inventory mismatch: %q registered %d× %v, rejoined with %d× %v",
+			reg.Agent, c.agents[i].gpus, c.agents[i].gen, reg.GPUs, g))
+	default:
+		c.missed[reg.Agent] = 0
+		c.ackRegister(reg.Agent, true, "")
+		c.cfg.Obs.NoteProtocol("rejoin_accepted")
+		return true
+	}
+	c.cfg.Obs.NoteProtocol("rejoin_rejected")
+	return false
+}
+
+// drainControl processes queued control messages (rejoin
+// registrations) without blocking. Any round report still in the
+// inbox here is stale — its round is over — and is dropped, exactly
+// as the collect loop would drop it.
+func (c *Central) drainControl() {
+	for {
+		select {
+		case env, ok := <-c.tr.Recv():
+			if !ok {
+				return
+			}
+			if reg, isReg := env.Msg.(comm.Register); isReg {
+				c.handleRejoin(reg)
+			}
+		default:
+			return
+		}
+	}
 }
 
 // Summary reports the distributed run's outcome.
 type Summary struct {
+	// Rounds counts scheduling rounds actually executed; quanta that
+	// passed with no active job (waiting for arrivals) are excluded.
 	Rounds         int
 	Finished       []*job.Job
 	Unfinished     int
@@ -313,14 +457,30 @@ type Summary struct {
 	MissedReports int
 }
 
-// Run executes up to maxRounds scheduling rounds (stopping early when
+// Run executes up to maxRounds scheduling quanta (stopping early when
 // all jobs finish) and shuts the agents down.
 func (c *Central) Run(maxRounds int) (*Summary, error) {
+	sum, err := c.Steps(maxRounds)
+	if err != nil {
+		return nil, err
+	}
+	c.ShutdownAgents()
+	return sum, nil
+}
+
+// Steps advances the schedule by up to maxSteps quanta without
+// shutting the agents down, so a supervisor (the chaos harness, an
+// operator console) can interleave scheduling with control actions.
+// It stops early when every job has finished. The returned summary
+// reflects progress so far.
+func (c *Central) Steps(maxSteps int) (*Summary, error) {
 	if c.cluster == nil {
 		return nil, fmt.Errorf("distrib: WaitForAgents first")
 	}
-	for round := 1; round <= maxRounds; round++ {
-		c.admit()
+	for step := 0; step < maxSteps; step++ {
+		if err := c.admit(); err != nil {
+			return nil, err
+		}
 		if len(c.active) == 0 {
 			if len(c.pending) == 0 {
 				break
@@ -328,37 +488,73 @@ func (c *Central) Run(maxRounds int) (*Summary, error) {
 			c.now = c.now.Add(c.cfg.Quantum)
 			continue
 		}
-		if err := c.runRound(round); err != nil {
+		if err := c.runRound(c.rounds + 1); err != nil {
 			return nil, err
 		}
+		c.rounds++
 		c.now = c.now.Add(c.cfg.Quantum)
+		if err := c.maybeSnapshot(); err != nil {
+			return nil, err
+		}
 	}
+	return c.summary(), nil
+}
+
+// ShutdownAgents tells every agent to exit (best-effort, retried).
+func (c *Central) ShutdownAgents() {
 	for _, a := range c.agents {
-		c.tr.Send(a.name, comm.Envelope{From: c.tr.Name(), Msg: comm.Shutdown{}})
+		c.retry.Send(c.tr, a.name, comm.Envelope{From: c.tr.Name(), Msg: comm.Shutdown{}})
 	}
+}
+
+func (c *Central) summary() *Summary {
 	sort.Slice(c.done, func(i, j int) bool { return c.done[i].FinishTime() < c.done[j].FinishTime() })
-	rounds := 0
-	if c.now > 0 {
-		rounds = int(float64(c.now) / c.cfg.Quantum)
-	}
 	return &Summary{
-		Rounds:         rounds,
+		Rounds:         c.rounds,
 		Finished:       c.done,
 		Unfinished:     len(c.active) + len(c.pending),
 		UsageByUser:    c.usage,
 		VirtualSeconds: simclock.Duration(c.now),
 		MissedReports:  c.timeouts,
-	}, nil
+	}
 }
 
-func (c *Central) admit() {
+// admit moves arrived specs into the active set. Specs are validated
+// at construction, so a job that fails to build here is a hard error
+// — silently dropping it would lose the job without trace.
+func (c *Central) admit() error {
+	n := 0
 	for len(c.pending) > 0 && c.pending[0].Arrival <= c.now {
 		j, err := job.New(c.pending[0])
-		if err == nil {
-			c.active[j.ID] = j
+		if err != nil {
+			return fmt.Errorf("distrib: admitting job %d: %w", c.pending[0].ID, err)
 		}
+		c.active[j.ID] = j
+		n++
 		c.pending = c.pending[1:]
 	}
+	c.cfg.Obs.NoteAdmitted(n)
+	return nil
+}
+
+// BusyAgents returns the names (sorted) of agents hosting at least
+// one job in the most recent round's assignment. The chaos harness
+// uses it to aim a kill at a server that actually has work.
+func (c *Central) BusyAgents() []string {
+	busy := make(map[int]bool)
+	for _, devs := range c.prev {
+		for _, d := range devs {
+			busy[c.serverOf[c.cluster.Device(d).Server]] = true
+		}
+	}
+	var names []string
+	for i, a := range c.agents {
+		if busy[i] {
+			names = append(names, a.name)
+		}
+	}
+	sort.Strings(names)
+	return names
 }
 
 // suspectThreshold is how many consecutive missed reports mark an
@@ -383,6 +579,7 @@ func (c *Central) downServers() map[gpu.ServerID]bool {
 
 func (c *Central) runRound(round int) error {
 	o := c.cfg.Obs
+	c.drainControl()
 	o.BeginRound(round, float64(c.now))
 	jobs := make([]*job.Job, 0, len(c.active))
 	for _, j := range c.active {
@@ -447,6 +644,12 @@ func (c *Central) runRound(round int) error {
 	genOf := make(map[job.ID]gpu.Generation)
 	gangOf := make(map[job.ID]int)
 	baseDone := make(map[job.ID]float64)
+	// shardFrac[id][agent] is the fraction of the job's gang that
+	// runs on that agent's server, used to weight the shard's
+	// reported useful seconds when merging (each shard spans the same
+	// wall quantum, so summing unweighted would multiply a gang's
+	// useful time by its server count).
+	shardFrac := make(map[job.ID]map[string]float64)
 	for id, devs := range res.Assignment {
 		j := c.active[id]
 		gen := c.cluster.Device(devs[0]).Gen
@@ -486,6 +689,10 @@ func (c *Central) runRound(round int) error {
 				plans[ai] = plan
 			}
 			frac := float64(len(locals)) / float64(len(devs))
+			if shardFrac[id] == nil {
+				shardFrac[id] = make(map[string]float64, 1)
+			}
+			shardFrac[id][c.agents[ai].name] = frac
 			plan.Jobs = append(plan.Jobs, comm.JobAssignment{
 				JobID: int64(id), User: string(j.User), Model: j.Perf.Model,
 				Gang: len(locals), LocalGPUs: locals,
@@ -496,15 +703,34 @@ func (c *Central) runRound(round int) error {
 		}
 	}
 
-	// Ship plans and collect reports.
+	// Ship plans and collect reports. A plan that cannot be
+	// delivered even after retries means the agent is unreachable
+	// right now: rather than aborting the run (or stalling the round
+	// on a timeout the agent can never answer), it is charged as a
+	// missed report immediately and the round proceeds without it.
 	want := make(map[string]bool)
-	for ai, plan := range plans {
+	ais := make([]int, 0, len(plans))
+	for ai := range plans {
+		ais = append(ais, ai)
+	}
+	sort.Ints(ais) // deterministic send order (drops/retries reproduce)
+	for _, ai := range ais {
+		plan := plans[ai]
 		name := c.agents[ai].name
-		if err := c.tr.Send(name, comm.Envelope{From: c.tr.Name(), Msg: *plan}); err != nil {
-			return err
+		if err := c.retry.Send(c.tr, name, comm.Envelope{From: c.tr.Name(), Msg: *plan}); err != nil {
+			if c.cfg.StrictReports {
+				return fmt.Errorf("distrib: round %d: plan for %q undeliverable: %w", round, name, err)
+			}
+			o.NoteProtocol("plan_send_failed")
+			c.missed[name]++
+			c.timeouts++
+			continue
 		}
 		o.NoteProtocol("plan_sent")
 		want[name] = true
+	}
+	if c.timeouts > c.cfg.MaxAgentTimeouts {
+		return fmt.Errorf("distrib: %d missed agent reports, giving up", c.timeouts)
 	}
 	o.PhaseEnd(obs.PhaseDispatch)
 	o.PhaseStart(obs.PhaseCollect)
@@ -516,6 +742,12 @@ func (c *Central) runRound(round int) error {
 			if !ok {
 				return fmt.Errorf("distrib: transport closed mid-round")
 			}
+			if reg, isReg := env.Msg.(comm.Register); isReg {
+				// A crashed agent restarting mid-round; reconcile it
+				// now so its server is schedulable next round.
+				c.handleRejoin(reg)
+				continue
+			}
 			rep, isRep := env.Msg.(comm.RoundReport)
 			if !isRep || rep.Round != round || !want[rep.Agent] {
 				continue
@@ -525,6 +757,10 @@ func (c *Central) runRound(round int) error {
 			o.NoteProtocol("report_received")
 			for _, p := range rep.Jobs {
 				id := job.ID(p.JobID)
+				// Weight this shard's useful seconds by its share of
+				// the gang so the merged value measures gang-time
+				// (frac is 1 for single-server jobs).
+				p.UsedSecs *= shardFrac[id][rep.Agent]
 				prev, seen := progress[id]
 				if !seen {
 					progress[id] = p

@@ -1,0 +1,88 @@
+package job
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/gpu"
+)
+
+func ckptPerf() *Perf {
+	p := &Perf{Model: "m", ScalingEff: 0.9, MemGBPerGPU: 4, CheckpointMB: 100}
+	p.RatePerGPU[gpu.K80] = 2
+	p.RatePerGPU[gpu.V100] = 5
+	return p
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	j := MustNew(Spec{ID: 7, User: "alice", Perf: ckptPerf(), Gang: 2, TotalMB: 1000, Arrival: 10})
+	j.SetRunning(true)
+	j.NoteFirstRun(360)
+	j.Advance(gpu.K80, 100, 360)
+	j.AddOverhead(3)
+	j.NoteMigration()
+	j.NoteQuantum(true)
+
+	cp := j.Checkpoint()
+	// Through JSON, as the snapshot file stores it.
+	raw, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Checkpoint
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	r, err := FromCheckpoint(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DoneMB() != j.DoneMB() || r.State() != j.State() ||
+		r.AttainedService() != j.AttainedService() ||
+		r.OverheadSeconds() != j.OverheadSeconds() ||
+		r.Migrations() != j.Migrations() ||
+		r.RanLastQuantum() != j.RanLastQuantum() {
+		t.Errorf("restored job differs: %+v vs %+v", r, j)
+	}
+	if qd, ok := r.QueueDelay(); !ok || qd != 350 {
+		t.Errorf("queue delay lost: %v %v", qd, ok)
+	}
+	if !reflect.DeepEqual(r.Checkpoint(), cp) {
+		t.Errorf("re-checkpoint differs:\n%+v\n%+v", r.Checkpoint(), cp)
+	}
+}
+
+func TestCheckpointFinishedJob(t *testing.T) {
+	j := MustNew(Spec{ID: 1, User: "u", Perf: ckptPerf(), Gang: 1, TotalMB: 10, Arrival: 0})
+	j.Advance(gpu.V100, 1000, 0)
+	if !j.Finished() {
+		t.Fatal("job should have finished")
+	}
+	r, err := FromCheckpoint(j.Checkpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Finished() || r.FinishTime() != j.FinishTime() || r.JCT() != j.JCT() {
+		t.Errorf("finished state lost: %v vs %v", r, j)
+	}
+}
+
+func TestCheckpointValidation(t *testing.T) {
+	base := MustNew(Spec{ID: 1, User: "u", Perf: ckptPerf(), Gang: 1, TotalMB: 10, Arrival: 0}).Checkpoint()
+	for name, mut := range map[string]func(*Checkpoint){
+		"bad state":     func(c *Checkpoint) { c.State = State(42) },
+		"negative done": func(c *Checkpoint) { c.DoneMB = -1 },
+		"overdone":      func(c *Checkpoint) { c.DoneMB = 11 },
+		"done too soon": func(c *Checkpoint) { c.State = Done; c.DoneMB = 5 },
+		"neg service":   func(c *Checkpoint) { c.GPUSecs[0] = -1 },
+		"neg overhead":  func(c *Checkpoint) { c.OverheadSecs = -1 },
+		"nil perf":      func(c *Checkpoint) { c.Spec.Perf = nil },
+	} {
+		cp := base
+		mut(&cp)
+		if _, err := FromCheckpoint(cp); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

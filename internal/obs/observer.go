@@ -116,6 +116,7 @@ type Observer struct {
 	now func() time.Time
 
 	roundsTotal    *Counter
+	admittedTotal  *Counter
 	decisionsTotal *Counter
 	migrationsTot  *Counter
 	tradesTotal    *Counter
@@ -169,6 +170,7 @@ func NewSized(ringSize int) *Observer {
 		ringSize:    ringSize,
 	}
 	o.roundsTotal = reg.Counter("gf_rounds_total", "Scheduling rounds completed.").With()
+	o.admittedTotal = reg.Counter("gf_jobs_admitted_total", "Jobs admitted into the active set.").With()
 	o.decisionsTotal = reg.Counter("gf_decisions_total", "Job placement decisions recorded.").With()
 	o.migrationsTot = reg.Counter("gf_migrations_total", "Job migrations executed.").With()
 	o.tradesTotal = reg.Counter("gf_trades_total", "Resource trades executed.").With()
@@ -331,6 +333,14 @@ func (o *Observer) NoteTrade(buyer, seller, fast, slow string, fastGPUs, slowGPU
 	o.trSeen++
 	o.mu.Unlock()
 	o.tradesTotal.Inc()
+}
+
+// NoteAdmitted counts jobs admitted into the active set.
+func (o *Observer) NoteAdmitted(n int) {
+	if o == nil || n <= 0 {
+		return
+	}
+	o.admittedTotal.Add(float64(n))
 }
 
 // NoteFinish counts one completed job.
