@@ -58,20 +58,20 @@ func main() {
 	}
 
 	usage := res.TotalUsageByUser()
-	var total float64
-	for _, v := range usage {
-		total += v
-	}
 	orgOf := map[gf.UserID]string{
 		"lead": "research", "phd-1": "research", "phd-2": "research", "serving": "prod",
 	}
-	orgTotals := map[string]float64{}
 	var users []gf.UserID
-	for u, v := range usage {
+	for u := range usage {
 		users = append(users, u)
-		orgTotals[orgOf[u]] += v
 	}
 	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+	var total float64
+	orgTotals := map[string]float64{}
+	for _, u := range users {
+		total += usage[u]
+		orgTotals[orgOf[u]] += usage[u]
+	}
 
 	fmt.Println("per-user GPU-time shares (hierarchical tickets):")
 	for _, u := range users {

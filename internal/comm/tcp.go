@@ -77,7 +77,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		conn.Close()
+		_ = conn.Close()
 		return
 	}
 	s.conns[conn] = true
@@ -102,7 +102,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		}
 		s.deliver(Envelope{From: f.From, Msg: f.Msg})
 	}
-	conn.Close()
+	_ = conn.Close()
 	s.mu.Lock()
 	delete(s.conns, conn)
 	if peer != "" && s.peers[peer] == pc {
@@ -151,13 +151,14 @@ func (s *TCPServer) Close() error {
 	s.closed = true
 	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
+		//gflint:ignore maprange live sockets have no order; close order is immaterial
 		conns = append(conns, c)
 	}
 	s.conns = map[net.Conn]bool{}
 	s.peers = map[string]*peerConn{}
 	s.mu.Unlock()
 	for _, c := range conns {
-		c.Close()
+		_ = c.Close()
 	}
 	err := s.ln.Close()
 	close(s.inbox)
@@ -215,7 +216,7 @@ func (c *TCPClient) recvLoop() {
 		}
 		c.cmu.Unlock()
 	}
-	c.Close()
+	_ = c.Close()
 }
 
 // Send implements Transport.

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/simclock"
+	"repro/internal/workload"
+)
+
+// TestCrossRunBitExactAggregates tightens TestDeterminism to exact
+// float equality on the aggregate results: after the sorted-iteration
+// fixes (availTotal, publishShares, result, TotalUsageByUser,
+// TotalOccupied/TotalUseful), two runs of one seed must agree to the
+// last bit, not merely to 1e-6.
+func TestCrossRunBitExactAggregates(t *testing.T) {
+	run := func() *Result {
+		specs := workload.MustGenerate(zoo, workload.Config{
+			Seed: 23,
+			Users: []workload.UserSpec{
+				{User: "a", NumJobs: 12, ArrivalRatePerHour: 3},
+				{User: "b", NumJobs: 12, ArrivalRatePerHour: 3},
+				{User: "c", NumJobs: 6, ArrivalRatePerHour: 1},
+			},
+		})
+		cfg := Config{Cluster: mixedCluster(), Specs: specs, Seed: 23}
+		return runFair(t, cfg, FairConfig{EnableTrading: true}, simclock.Time(12*simclock.Hour))
+	}
+	r1, r2 := run(), run()
+
+	if r1.Utilization != r2.Utilization {
+		t.Errorf("Utilization differs: %+v vs %+v", r1.Utilization, r2.Utilization)
+	}
+	if a, b := r1.TotalOccupied(), r2.TotalOccupied(); a != b {
+		t.Errorf("TotalOccupied differs: %v vs %v", a, b)
+	}
+	if a, b := r1.TotalUseful(), r2.TotalUseful(); a != b {
+		t.Errorf("TotalUseful differs: %v vs %v", a, b)
+	}
+	if a, b := r1.MaxShareError(), r2.MaxShareError(); a != b {
+		t.Errorf("MaxShareError differs: %v vs %v", a, b)
+	}
+	u1, u2 := r1.TotalUsageByUser(), r2.TotalUsageByUser()
+	for u, v := range u1 {
+		if u2[u] != v {
+			t.Errorf("usage differs for %s: %v vs %v", u, v, u2[u])
+		}
+	}
+	for g, a := range r1.UtilByGen {
+		if b := r2.UtilByGen[g]; a != b {
+			t.Errorf("UtilByGen[%v] differs: %+v vs %+v", g, a, b)
+		}
+	}
+}
+
+// TestResultAggregatesRepeatable calls the aggregate accessors many
+// times on one Result: with sorted iteration the answers are
+// bit-identical regardless of the map order each call happens to see.
+func TestResultAggregatesRepeatable(t *testing.T) {
+	specs := workload.MustGenerate(zoo, workload.Config{
+		Seed: 5,
+		Users: []workload.UserSpec{
+			{User: "a", NumJobs: 10, ArrivalRatePerHour: 4},
+			{User: "b", NumJobs: 10, ArrivalRatePerHour: 4},
+		},
+	})
+	res := runFair(t, Config{Cluster: mixedCluster(), Specs: specs, Seed: 5},
+		FairConfig{EnableTrading: true}, simclock.Time(8*simclock.Hour))
+
+	occ, use, mse := res.TotalOccupied(), res.TotalUseful(), res.MaxShareError()
+	usage := res.TotalUsageByUser()
+	for trial := 1; trial < 100; trial++ {
+		if got := res.TotalOccupied(); got != occ {
+			t.Fatalf("trial %d: TotalOccupied %v vs %v", trial, got, occ)
+		}
+		if got := res.TotalUseful(); got != use {
+			t.Fatalf("trial %d: TotalUseful %v vs %v", trial, got, use)
+		}
+		if got := res.MaxShareError(); got != mse {
+			t.Fatalf("trial %d: MaxShareError %v vs %v", trial, got, mse)
+		}
+		for u, v := range res.TotalUsageByUser() {
+			if usage[u] != v {
+				t.Fatalf("trial %d: usage[%s] %v vs %v", trial, u, v, usage[u])
+			}
+		}
+	}
+}

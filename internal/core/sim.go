@@ -240,11 +240,33 @@ type Result struct {
 func (r *Result) TotalUsageByUser() map[job.UserID]float64 {
 	out := make(map[job.UserID]float64, len(r.UsageByUserGen))
 	for u, byGen := range r.UsageByUserGen {
-		for _, v := range byGen {
-			out[u] += v
+		for _, g := range gpu.Generations() {
+			out[u] += byGen[g]
 		}
 	}
 	return out
+}
+
+// TotalOccupied sums occupied GPU-seconds over all users and
+// generations.
+func (r *Result) TotalOccupied() float64 {
+	var t float64
+	for _, u := range job.SortedUsers(r.UsageByUserGen) {
+		byGen := r.UsageByUserGen[u]
+		for _, g := range gpu.Generations() {
+			t += byGen[g]
+		}
+	}
+	return t
+}
+
+// TotalUseful sums useful (non-overhead) GPU-seconds over all users.
+func (r *Result) TotalUseful() float64 {
+	var t float64
+	for _, u := range job.SortedUsers(r.UsefulByUser) {
+		t += r.UsefulByUser[u]
+	}
+	return t
 }
 
 // MaxShareError returns the largest per-user deviation between the
@@ -463,8 +485,8 @@ func (s *Sim) runRound() error {
 		demand[j.User] += float64(j.Gang)
 	}
 	availTotal := 0.0
-	for _, c := range capNow {
-		availTotal += float64(c)
+	for _, g := range gpu.Generations() {
+		availTotal += float64(capNow[g])
 	}
 	for u, sh := range fairshare.Compute(s.tickets, demand, availTotal) {
 		s.fairUsage[u] += sh * s.cfg.Quantum
@@ -620,18 +642,20 @@ func (s *Sim) publishShares() {
 	var usedTotal, fairTotal float64
 	used := make(map[job.UserID]float64, len(s.usage))
 	for u, byGen := range s.usage {
-		for _, v := range byGen {
-			used[u] += v
-			usedTotal += v
+		for _, g := range gpu.Generations() {
+			used[u] += byGen[g]
 		}
 	}
-	for _, v := range s.fairUsage {
-		fairTotal += v
+	for _, u := range job.SortedUsers(used) {
+		usedTotal += used[u]
 	}
-	for u, v := range used {
+	for _, u := range job.SortedUsers(s.fairUsage) {
+		fairTotal += s.fairUsage[u]
+	}
+	for _, u := range job.SortedUsers(used) {
 		uf, ff := 0.0, 0.0
 		if usedTotal > 0 {
-			uf = v / usedTotal
+			uf = used[u] / usedTotal
 		}
 		if fairTotal > 0 {
 			ff = s.fairUsage[u] / fairTotal
@@ -796,7 +820,11 @@ func (s *Sim) checkDecision(dec Decision, caps map[gpu.Generation]int) error {
 func (s *Sim) result() *Result {
 	var busy, capTotal float64
 	utilByGen := make(map[gpu.Generation]metrics.Utilization, len(s.capByGen))
-	for g, c := range s.capByGen {
+	for _, g := range gpu.Generations() {
+		c, ok := s.capByGen[g]
+		if !ok {
+			continue
+		}
 		b := s.busyByGen[g]
 		utilByGen[g] = metrics.Utilization{BusyGPUSeconds: b, CapacityGPUSeconds: c}
 		busy += b

@@ -167,6 +167,7 @@ func (t *delaySend) Send(to string, e comm.Envelope) error {
 		t.mu.Lock()
 		d := time.Duration(t.rng.Float64() * float64(t.maxDelay))
 		t.mu.Unlock()
+		//gflint:ignore wallclock chaos harness injects real wire delay into a real transport
 		time.Sleep(d)
 	}
 	return t.Transport.Send(to, e)
@@ -213,7 +214,7 @@ func startChaosAgent(hub *comm.Hub, name string, gpus int, seed int64, maxDelay 
 	}
 	a, err := NewAgent(wire, "central", gpu.K80, gpus)
 	if err != nil {
-		tr.Close()
+		_ = tr.Close()
 		return nil, err
 	}
 	a.SetRetry(fastRetry(seed))
@@ -264,6 +265,7 @@ func waitAgent(a *chaosAgent) error {
 	select {
 	case err := <-a.done:
 		return err
+	//gflint:ignore wallclock shutdown timeout for a real goroutine, not simulated time
 	case <-time.After(10 * time.Second):
 		return fmt.Errorf("agent did not shut down")
 	}
@@ -354,7 +356,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosSummary, error) {
 			busy := central.BusyAgents()
 			if len(busy) > 0 {
 				victim = busy[len(busy)-1]
-				agents[victim].tr.Close()
+				_ = agents[victim].tr.Close()
 				if err := waitAgent(agents[victim]); err != ErrTransportClosed && err != nil {
 					return nil, fmt.Errorf("distrib: killed agent exited oddly: %w", err)
 				}
@@ -418,6 +420,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosSummary, error) {
 	// Guard against a degenerate comparison (nothing ran at all).
 	var total float64
 	for _, v := range faulted.UsageByUser {
+		//gflint:ignore maprange sum of nonnegatives feeds only a >0 sanity check
 		total += v
 	}
 	if total <= 0 || math.IsNaN(total) {

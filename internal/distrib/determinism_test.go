@@ -1,0 +1,74 @@
+package distrib
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/job"
+	"repro/internal/workload"
+)
+
+// TestDistributedCrossRunDeterminism runs the same distributed
+// workload twice over fresh hubs and requires bit-identical per-user
+// usage and finish times. The apply loop consumes agent reports from a
+// map whose insertion order follows wire arrival, so this is the
+// regression harness for the sorted-ID iteration there (usage sums,
+// profiler observations) and in publishShares/RecordPlacement.
+func TestDistributedCrossRunDeterminism(t *testing.T) {
+	run := func() *Summary {
+		hub := comm.NewHub()
+		central, err := hub.Attach("central")
+		if err != nil {
+			t.Fatal(err)
+		}
+		waits := startAgents(t, hub, []gpu.Generation{gpu.K80, gpu.V100}, 4)
+
+		var specs []job.Spec
+		specs = append(specs, workload.BatchJobs("alice", zoo.MustGet("lstm"), 4, 1, 0.5)...)
+		specs = append(specs, workload.BatchJobs("bob", zoo.MustGet("gru"), 4, 1, 0.5)...)
+		specs, _ = workload.AssignIDs(specs)
+
+		c, err := NewCentral(central, core.MustNewFairPolicy(core.FairConfig{EnableTrading: true}),
+			CentralConfig{Specs: specs, Quantum: 360})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.WaitForAgents(2, 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		sum, err := c.Run(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.ShutdownAgents()
+		for _, w := range waits {
+			select {
+			case <-w:
+			case <-time.After(5 * time.Second):
+				t.Fatal("agent did not shut down")
+			}
+		}
+		return sum
+	}
+
+	s1, s2 := run(), run()
+	if len(s1.Finished) != len(s2.Finished) || s1.Rounds != s2.Rounds {
+		t.Fatalf("runs differ: %d/%d finished, %d/%d rounds",
+			len(s1.Finished), len(s2.Finished), s1.Rounds, s2.Rounds)
+	}
+	for u, v := range s1.UsageByUser {
+		if s2.UsageByUser[u] != v {
+			t.Errorf("usage differs for %s: %v vs %v", u, v, s2.UsageByUser[u])
+		}
+	}
+	for i := range s1.Finished {
+		a, b := s1.Finished[i], s2.Finished[i]
+		if a.ID != b.ID || a.FinishTime() != b.FinishTime() {
+			t.Errorf("finish %d differs: job %d@%v vs job %d@%v",
+				i, a.ID, a.FinishTime(), b.ID, b.FinishTime())
+		}
+	}
+}

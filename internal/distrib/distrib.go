@@ -301,6 +301,7 @@ func (c *Central) newRetrier() *comm.Retrier {
 // idempotent when the inventory matches and rejected when it does
 // not, so duplicate Register messages cannot corrupt the inventory.
 func (c *Central) WaitForAgents(n int, timeout time.Duration) error {
+	//gflint:ignore wallclock registration deadline on a real transport, not simulated time
 	deadline := time.After(timeout)
 	for len(c.agents) < n {
 		select {
@@ -393,7 +394,7 @@ func (c *Central) agentIndex(name string) int {
 // ackRegister answers a Register best-effort (the agent re-registers
 // if the ack is lost, so a failed ack send is not fatal).
 func (c *Central) ackRegister(agent string, ok bool, reason string) {
-	c.retry.Send(c.tr, agent, comm.Envelope{From: c.tr.Name(),
+	_ = c.retry.Send(c.tr, agent, comm.Envelope{From: c.tr.Name(),
 		Msg: comm.RegisterAck{OK: ok, Reason: reason}})
 }
 
@@ -503,7 +504,7 @@ func (c *Central) Steps(maxSteps int) (*Summary, error) {
 // ShutdownAgents tells every agent to exit (best-effort, retried).
 func (c *Central) ShutdownAgents() {
 	for _, a := range c.agents {
-		c.retry.Send(c.tr, a.name, comm.Envelope{From: c.tr.Name(), Msg: comm.Shutdown{}})
+		_ = c.retry.Send(c.tr, a.name, comm.Envelope{From: c.tr.Name(), Msg: comm.Shutdown{}})
 	}
 }
 
@@ -618,7 +619,8 @@ func (c *Central) runRound(round int) error {
 	}
 	o.NoteUnplaced(len(res.Unplaced))
 	if o != nil {
-		for id, devs := range res.Assignment {
+		for _, id := range job.SortedIDs(res.Assignment) {
+			devs := res.Assignment[id]
 			j := c.active[id]
 			if j == nil {
 				continue
@@ -735,6 +737,7 @@ func (c *Central) runRound(round int) error {
 	o.PhaseEnd(obs.PhaseDispatch)
 	o.PhaseStart(obs.PhaseCollect)
 	progress := make(map[job.ID]comm.JobProgress)
+	//gflint:ignore wallclock report-collection deadline on a real transport, not simulated time
 	deadline := time.After(c.cfg.ReportTimeout)
 	for len(want) > 0 {
 		select {
@@ -807,7 +810,10 @@ func (c *Central) runRound(round int) error {
 	o.PhaseStart(obs.PhaseApply)
 	rep := &core.ExecReport{Ran: make(map[job.ID]core.RanInfo)}
 	ranThisRound := make(map[job.ID]bool)
-	for id, p := range progress {
+	// Sorted order keeps the per-user usage sums and the profiler's
+	// noise-sample consumption identical across runs of one seed.
+	for _, id := range job.SortedIDs(progress) {
+		p := progress[id]
 		j := c.active[id]
 		if j == nil {
 			continue
@@ -830,7 +836,8 @@ func (c *Central) runRound(round int) error {
 	c.policy.Executed(rep)
 
 	newPrev := placement.Assignment{}
-	for id, devs := range res.Assignment {
+	for _, id := range job.SortedIDs(res.Assignment) {
+		devs := res.Assignment[id]
 		j := c.active[id]
 		if j == nil {
 			continue
@@ -870,20 +877,20 @@ func (c *Central) publishShares() {
 		return
 	}
 	var totalUse, totalTickets float64
-	for _, u := range c.usage {
-		totalUse += u
+	for _, u := range job.SortedUsers(c.usage) {
+		totalUse += c.usage[u]
 	}
-	for _, t := range c.cfg.Tickets {
-		totalTickets += t
+	for _, u := range job.SortedUsers(c.cfg.Tickets) {
+		totalTickets += c.cfg.Tickets[u]
 	}
-	for user, t := range c.cfg.Tickets {
+	for _, user := range job.SortedUsers(c.cfg.Tickets) {
 		useFrac := 0.0
 		if totalUse > 0 {
 			useFrac = c.usage[user] / totalUse
 		}
 		fairFrac := 0.0
 		if totalTickets > 0 {
-			fairFrac = t / totalTickets
+			fairFrac = c.cfg.Tickets[user] / totalTickets
 		}
 		c.cfg.Obs.SetShare(string(user), useFrac, fairFrac)
 	}

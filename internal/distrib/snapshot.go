@@ -107,12 +107,12 @@ func (c *Central) SaveSnapshot(dir string) error {
 		return err
 	}
 	if _, err := tmp.Write(raw); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name())
 		return err
 	}
 	return os.Rename(tmp.Name(), filepath.Join(dir, SnapshotFile))
@@ -281,6 +281,7 @@ func (c *Central) WaitForRejoin(n int, timeout time.Duration) error {
 	if n > len(c.agents) {
 		return fmt.Errorf("distrib: waiting for %d rejoins with only %d known agents", n, len(c.agents))
 	}
+	//gflint:ignore wallclock rejoin deadline on a real transport, not simulated time
 	deadline := time.After(timeout)
 	seen := make(map[string]bool)
 	for len(seen) < n {

@@ -119,15 +119,7 @@ func a2QuantumSweep(opt Options) (*Table, error) {
 	}
 	for i, q := range quanta {
 		res := results[i]
-		var occupied, useful float64
-		for _, byGen := range res.UsageByUserGen {
-			for _, v := range byGen {
-				occupied += v
-			}
-		}
-		for _, v := range res.UsefulByUser {
-			useful += v
-		}
+		occupied, useful := res.TotalOccupied(), res.TotalUseful()
 		sh := metrics.ShareFractions(res.TotalUsageByUser())
 		t.AddRow(fmt.Sprintf("%.0fs", q), pct(useful/occupied),
 			pct(fairshare.MaxShareError(sh, ideal)))
@@ -284,10 +276,12 @@ func a5SchedulerScalability(opt Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		//gflint:ignore wallclock this ablation measures real per-round scheduling cost
 		start := time.Now()
 		if _, err := sim.Run(simclock.Time(float64(rounds) * 360)); err != nil {
 			return nil, err
 		}
+		//gflint:ignore wallclock this ablation measures real per-round scheduling cost
 		perRound := time.Since(start).Seconds() * 1000 / float64(rounds)
 		t.AddRow(fmt.Sprint(cluster.NumDevices()), fmt.Sprint(cluster.NumServers()),
 			fmt.Sprint(len(specs)), f1(perRound))

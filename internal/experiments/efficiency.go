@@ -153,15 +153,7 @@ func e08MigrationOverhead(opt Options) (*Table, error) {
 	}
 	// Unfinished jobs (this workload never finishes): read overhead
 	// via usage minus useful time.
-	var occupied, useful float64
-	for _, byGen := range res.UsageByUserGen {
-		for _, v := range byGen {
-			occupied += v
-		}
-	}
-	for _, v := range res.UsefulByUser {
-		useful += v
-	}
+	occupied, useful := res.TotalOccupied(), res.TotalUseful()
 	t.AddRow("measured (trading run)", "-", fmt.Sprint(res.Migrations),
 		pct((occupied-useful)/occupied))
 	return t, nil

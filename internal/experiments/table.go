@@ -119,8 +119,8 @@ func idLess(a, b string) bool {
 		return pa == 'E' // E before A
 	}
 	var na, nb int
-	fmt.Sscanf(a[1:], "%d", &na)
-	fmt.Sscanf(b[1:], "%d", &nb)
+	_, _ = fmt.Sscanf(a[1:], "%d", &na) // unparsable suffix sorts as 0
+	_, _ = fmt.Sscanf(b[1:], "%d", &nb)
 	return na < nb
 }
 

@@ -94,8 +94,8 @@ func Compute(tickets, demand map[job.UserID]float64, capacity float64) map[job.U
 func SplitByGen(total float64, capacities map[gpu.Generation]int) map[gpu.Generation]float64 {
 	out := make(map[gpu.Generation]float64, len(capacities))
 	var sum float64
-	for _, c := range capacities {
-		sum += float64(c)
+	for _, g := range gpu.Generations() {
+		sum += float64(capacities[g])
 	}
 	if sum <= eps || total <= eps {
 		return out
@@ -169,8 +169,8 @@ func (a Allocation) TotalByGen() map[gpu.Generation]float64 {
 // demand[u] is the user's total runnable gang width in GPUs.
 func ComputeAllocation(tickets, demand map[job.UserID]float64, capacities map[gpu.Generation]int) Allocation {
 	var total float64
-	for _, c := range capacities {
-		total += float64(c)
+	for _, g := range gpu.Generations() {
+		total += float64(capacities[g])
 	}
 	shares := Compute(tickets, demand, total)
 	alloc := make(Allocation, len(shares))

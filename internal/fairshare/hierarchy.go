@@ -89,9 +89,9 @@ func (h *Hierarchy) Flatten(active []job.UserID) map[job.UserID]float64 {
 	out := make(map[job.UserID]float64)
 	for _, o := range h.orgs {
 		var wsum float64
-		for u, w := range o.Weights {
+		for _, u := range job.SortedUsers(o.Weights) {
 			if activeSet[u] {
-				wsum += w
+				wsum += o.Weights[u]
 			}
 		}
 		if wsum <= 0 {

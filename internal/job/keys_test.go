@@ -1,0 +1,36 @@
+package job
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestSortedUsers(t *testing.T) {
+	m := map[UserID]int{"carol": 1, "alice": 2, "bob": 3}
+	got := SortedUsers(m)
+	if len(got) != len(m) || !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("SortedUsers = %v, want all 3 keys ascending", got)
+	}
+	for _, u := range got {
+		if _, ok := m[u]; !ok {
+			t.Fatalf("SortedUsers returned foreign key %q", u)
+		}
+	}
+	if out := SortedUsers(map[UserID]struct{}{}); len(out) != 0 {
+		t.Fatalf("empty map gave %v", out)
+	}
+}
+
+func TestSortedIDs(t *testing.T) {
+	m := map[ID]string{9: "", 1: "", 5: ""}
+	got := SortedIDs(m)
+	want := []ID{1, 5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("SortedIDs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedIDs = %v, want %v", got, want)
+		}
+	}
+}

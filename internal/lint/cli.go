@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// CLI exit codes.
+const (
+	ExitClean    = 0 // no findings
+	ExitFindings = 1 // at least one diagnostic
+	ExitError    = 2 // usage, load, or typecheck failure
+)
+
+// Main is the gflint entry point, factored out of package main so
+// tests can drive the full CLI in-process. It returns the exit code.
+func Main(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gflint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut = fs.Bool("json", false, "emit diagnostics as a JSON array instead of text")
+		tests   = fs.Bool("tests", false, "also analyze in-package _test.go files")
+		checks  = fs.String("checks", "", "comma-separated analyzer names to run (default: all)")
+		list    = fs.Bool("list", false, "list available analyzers and exit")
+		dir     = fs.String("C", "", "module root to analyze (default: current directory)")
+	)
+	fs.Usage = func() {
+		printf(stderr, "usage: gflint [flags] [patterns]\n\n"+
+			"Patterns are package directories relative to the module root\n"+
+			"(default \"./...\"). Exit status: 0 clean, 1 findings, 2 errors.\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return ExitError
+	}
+	if *list {
+		for _, a := range Analyzers() {
+			printf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return ExitClean
+	}
+
+	selected := Analyzers()
+	if *checks != "" {
+		selected = nil
+		for _, name := range strings.Split(*checks, ",") {
+			name = strings.TrimSpace(name)
+			a := AnalyzerByName(name)
+			if a == nil {
+				printf(stderr, "gflint: unknown check %q (try -list)\n", name)
+				return ExitError
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := NewLoader(LoadConfig{Dir: *dir, Tests: *tests})
+	if err != nil {
+		printf(stderr, "gflint: %v\n", err)
+		return ExitError
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		printf(stderr, "gflint: %v\n", err)
+		return ExitError
+	}
+
+	diags := Run(pkgs, selected)
+	relativize(diags)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			printf(stderr, "gflint: %v\n", err)
+			return ExitError
+		}
+	} else {
+		for _, d := range diags {
+			printline(stdout, d.String())
+		}
+		if len(diags) > 0 {
+			printf(stdout, "gflint: %d finding(s)\n", len(diags))
+		}
+	}
+	if len(diags) > 0 {
+		return ExitFindings
+	}
+	return ExitClean
+}
+
+// printf/printline write CLI output, explicitly discarding write
+// errors: a broken stdout/stderr pipe has no in-band remedy.
+func printf(w io.Writer, format string, args ...any) {
+	_, _ = fmt.Fprintf(w, format, args...)
+}
+
+func printline(w io.Writer, args ...any) {
+	_, _ = fmt.Fprintln(w, args...)
+}
+
+// relativize rewrites absolute diagnostic paths relative to the
+// working directory when possible, for stable readable output.
+func relativize(diags []Diagnostic) {
+	wd, err := os.Getwd()
+	if err != nil {
+		return
+	}
+	for i := range diags {
+		if rel, err := filepath.Rel(wd, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = rel
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDropAnalyzer flags expression statements inside internal/ that
+// call a function returning an error and let the value fall on the
+// floor — the bug class behind the silent admit() job loss fixed in
+// the distributed runtime. An explicit `_ =` discard, a defer, or a go
+// statement is visible intent and is not flagged; a bare call is not.
+//
+// Never-fail writers are exempt: fmt.Fprint* into a *strings.Builder
+// or *bytes.Buffer, and Write* methods on those types, return errors
+// only to satisfy io interfaces.
+var ErrDropAnalyzer = &Analyzer{
+	Name: "errdrop",
+	Doc:  "silently discarded error returns in internal/ (bare call statements; use _ = or handle the error)",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(pass *Pass) {
+	if !strings.HasPrefix(pass.Pkg.Path, "repro/internal/") {
+		return
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(st.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(pass, call, errType) || neverFails(pass, call) {
+				return true
+			}
+			name := "call"
+			if fn := pass.CalleeFunc(call); fn != nil {
+				name = fn.Name()
+			}
+			pass.Report(call.Pos(),
+				"%s returns an error that is silently dropped; handle it or discard explicitly with _ =", name)
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's (last) result is an error.
+func returnsError(pass *Pass, call *ast.CallExpr, errType *types.Interface) bool {
+	t := pass.TypeOf(call)
+	switch t := t.(type) {
+	case nil:
+		return false
+	case *types.Tuple:
+		if t.Len() == 0 {
+			return false
+		}
+		return types.Implements(t.At(t.Len()-1).Type(), errType)
+	default:
+		return types.Implements(t, errType)
+	}
+}
+
+// neverFails exempts error returns that exist only to satisfy io
+// interfaces: writes into in-memory buffers.
+func neverFails(pass *Pass, call *ast.CallExpr) bool {
+	fn := pass.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Fprint") && len(call.Args) > 0 {
+		return isMemWriter(pass.TypeOf(call.Args[0]))
+	}
+	if sig != nil && sig.Recv() != nil {
+		return isMemWriter(sig.Recv().Type())
+	}
+	return false
+}
+
+// isMemWriter reports *strings.Builder or *bytes.Buffer.
+func isMemWriter(t types.Type) bool {
+	ptr, ok := typeUnder(t).(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GlobalRandAnalyzer flags top-level math/rand functions (rand.Intn,
+// rand.Float64, rand.Shuffle, ...) that draw from the package's shared
+// global RNG. The global source is process-wide state: any other
+// consumer (a test, a library, a second simulation in the same
+// process) shifts the stream and breaks seed reproducibility. All
+// randomness must flow through an explicitly seeded *rand.Rand.
+//
+// Constructors (rand.New, rand.NewSource, rand.NewZipf) and methods on
+// an explicit *rand.Rand are fine.
+var GlobalRandAnalyzer = &Analyzer{
+	Name: "globalrand",
+	Doc:  "top-level math/rand calls hit the shared global RNG; use an explicitly seeded *rand.Rand",
+	Run:  runGlobalRand,
+}
+
+func runGlobalRand(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "math/rand" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // method on an explicit *rand.Rand / Source
+			}
+			switch fn.Name() {
+			case "New", "NewSource", "NewZipf":
+				return true
+			}
+			pass.Report(sel.Pos(),
+				"rand.%s draws from the shared global RNG; use an explicitly seeded *rand.Rand",
+				fn.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,186 @@
+// Package lint is a stdlib-only static-analysis framework for this
+// repository's determinism and correctness rules. It parses and
+// typechecks packages with go/parser and go/types (no external
+// dependencies, matching the module's zero-dependency style), runs a
+// registry of analyzers over them, and reports file/line diagnostics.
+//
+// The analyzers encode the failure modes that have actually bitten
+// this codebase: map-iteration-order nondeterminism in float sums,
+// appends, trace/obs emission and RNG draws (maprange); wall-clock
+// reads in simulation logic that must run on virtual time (wallclock);
+// use of the shared global math/rand RNG (globalrand); and silently
+// discarded error returns (errdrop).
+//
+// Findings can be suppressed with a directive comment on the flagged
+// line or the line directly above it:
+//
+//	//gflint:ignore <check> <one-line justification>
+//
+// A directive must name the check and carry a justification; malformed
+// directives are themselves reported (check "directive").
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named check. Run inspects a typechecked package via
+// the Pass and reports findings with Pass.Report.
+type Analyzer struct {
+	// Name identifies the check in output and in suppression
+	// directives (e.g. "maprange").
+	Name string
+	// Doc is a one-line description shown by gflint -list.
+	Doc string
+	// Run executes the check over one package.
+	Run func(*Pass)
+}
+
+// Analyzers returns the built-in analyzer registry in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		MapRangeAnalyzer,
+		WallClockAnalyzer,
+		GlobalRandAnalyzer,
+		ErrDropAnalyzer,
+	}
+}
+
+// AnalyzerByName resolves one registry entry; nil if unknown.
+func AnalyzerByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Diagnostic is one finding, located at a concrete file position.
+type Diagnostic struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Check, d.Message)
+}
+
+// Pass carries one analyzer's view of one typechecked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Report records a finding at pos.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Check:   p.Analyzer.Name,
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of an expression, nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// ObjectOf returns the object an identifier denotes (uses or defs).
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.Pkg.Info.ObjectOf(id) }
+
+// IsConst reports whether the expression has a compile-time constant
+// value — order-insensitive by definition.
+func (p *Pass) IsConst(e ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// CalleeFunc resolves a call expression to the *types.Func it invokes
+// (package function or method), or nil for builtins, conversions, and
+// indirect calls through function values.
+func (p *Pass) CalleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := p.ObjectOf(fun).(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := p.ObjectOf(fun.Sel).(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// IsBuiltin reports whether the call invokes the named builtin.
+func (p *Pass) IsBuiltin(call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// Run executes the given analyzers over the packages, applies
+// suppression directives, and returns the surviving diagnostics in
+// stable (file, line, col, check) order. Malformed directives are
+// appended as check "directive" findings.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			a.Run(&Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg, diags: &diags})
+		}
+		diags = append(diags, directiveProblems(pkg, Analyzers())...)
+	}
+	var out []Diagnostic
+	seen := make(map[Diagnostic]bool, len(diags))
+	for _, d := range diags {
+		// Nested map ranges can charge one statement to two loops;
+		// identical diagnostics collapse to one.
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		if d.Check != "directive" && suppressed(pkgsByFile(pkgs, d.File), d) {
+			continue
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+	return out
+}
+
+func pkgsByFile(pkgs []*Package, file string) *Package {
+	for _, pkg := range pkgs {
+		if _, ok := pkg.directivesByFile(file); ok {
+			return pkg
+		}
+	}
+	return nil
+}

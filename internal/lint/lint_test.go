@@ -1,0 +1,266 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureDir is the corpus module analyzed by the golden test.
+func fixtureDir(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+// repoRoot is the real module, target of the mutation tests.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+func runOver(t *testing.T, cfg LoadConfig, patterns ...string) []Diagnostic {
+	t.Helper()
+	loader, err := NewLoader(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Run(pkgs, Analyzers())
+}
+
+// TestGoldenCorpus locks the analyzer suite's output over the fixture
+// module: every analyzer's positive cases, the suppression directive
+// (justified, unjustified, malformed), and the clean file.
+func TestGoldenCorpus(t *testing.T) {
+	root := fixtureDir(t)
+	diags := runOver(t, LoadConfig{Dir: root}, "./...")
+
+	var b strings.Builder
+	for _, d := range diags {
+		rel, err := filepath.Rel(root, d.File)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.File = filepath.ToSlash(rel)
+		b.WriteString(d.String())
+		b.WriteString("\n")
+	}
+	got := b.String()
+
+	want, err := os.ReadFile("testdata/golden.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("corpus output diverged from testdata/golden.txt\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	for _, d := range diags {
+		if strings.Contains(d.File, "cleanfix") {
+			t.Errorf("clean fixture produced a finding: %s", d)
+		}
+	}
+	checks := make(map[string]bool)
+	for _, d := range diags {
+		checks[d.Check] = true
+	}
+	for _, want := range []string{"maprange", "wallclock", "globalrand", "errdrop", "directive"} {
+		if !checks[want] {
+			t.Errorf("corpus exercises no %s finding", want)
+		}
+	}
+}
+
+// TestCleanFixtureStandalone double-checks the zero-findings path
+// (and the CLI's zero exit) on the clean package alone.
+func TestCleanFixtureStandalone(t *testing.T) {
+	if diags := runOver(t, LoadConfig{Dir: fixtureDir(t)}, "./internal/cleanfix"); len(diags) != 0 {
+		t.Fatalf("clean fixture: %v", diags)
+	}
+	var out, errb bytes.Buffer
+	if code := Main([]string{"-C", fixtureDir(t), "./internal/cleanfix"}, &out, &errb); code != ExitClean {
+		t.Fatalf("CLI exit %d on clean package, want %d (stderr: %s)", code, ExitClean, errb.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("CLI wrote %q for a clean package", out.String())
+	}
+}
+
+// TestCLI covers exit codes and the JSON output mode end to end.
+func TestCLI(t *testing.T) {
+	root := fixtureDir(t)
+
+	var out, errb bytes.Buffer
+	if code := Main([]string{"-C", root, "./..."}, &out, &errb); code != ExitFindings {
+		t.Fatalf("exit %d over corpus, want %d (stderr: %s)", code, ExitFindings, errb.String())
+	}
+	if !strings.Contains(out.String(), "maprange") || !strings.Contains(out.String(), "finding(s)") {
+		t.Fatalf("text output missing findings summary:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := Main([]string{"-C", root, "-json", "./..."}, &out, &errb); code != ExitFindings {
+		t.Fatalf("json exit %d, want %d", code, ExitFindings)
+	}
+	var diags []Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("JSON output does not parse: %v\n%s", err, out.String())
+	}
+	if len(diags) == 0 || diags[0].Check == "" || diags[0].Line == 0 {
+		t.Fatalf("JSON diagnostics incomplete: %+v", diags)
+	}
+
+	out.Reset()
+	if code := Main([]string{"-C", root, "-json", "./internal/cleanfix"}, &out, &errb); code != ExitClean {
+		t.Fatalf("json clean exit %d, want %d", code, ExitClean)
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Fatalf("clean JSON output = %q, want []", out.String())
+	}
+
+	out.Reset()
+	if code := Main([]string{"-list"}, &out, &errb); code != ExitClean {
+		t.Fatalf("-list exit %d", code)
+	}
+	for _, a := range Analyzers() {
+		if !strings.Contains(out.String(), a.Name) {
+			t.Fatalf("-list output missing %s:\n%s", a.Name, out.String())
+		}
+	}
+
+	if code := Main([]string{"-checks", "nosuchcheck", "."}, &out, &errb); code != ExitError {
+		t.Fatalf("unknown check exit %d, want %d", code, ExitError)
+	}
+}
+
+// TestChecksSubset runs a single analyzer and confirms other checks'
+// findings (and their suppression directives) stay out of the way.
+func TestChecksSubset(t *testing.T) {
+	root := fixtureDir(t)
+	var out, errb bytes.Buffer
+	if code := Main([]string{"-C", root, "-checks", "globalrand", "-json", "./internal/grfix"}, &out, &errb); code != ExitFindings {
+		t.Fatalf("exit %d (stderr: %s)", code, errb.String())
+	}
+	var diags []Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("want the 2 globalrand findings, got %+v", diags)
+	}
+	for _, d := range diags {
+		if d.Check != "globalrand" {
+			t.Fatalf("subset run leaked check %s", d.Check)
+		}
+	}
+}
+
+// mutation is one deleted-guard scenario: edit the real source in
+// memory, then require a maprange diagnostic at the exact line of the
+// now-unsorted statement.
+type mutation struct {
+	file    string // repo-relative source file
+	pkg     string // pattern to load
+	old     string // guard text to replace
+	new     string // replacement without the guard
+	flagged string // statement that must be flagged, located by text
+}
+
+// TestMutationDeletedGuardsAreCaught is the acceptance criterion for
+// the analyzer: deleting any one sorted-keys guard in fairshare or
+// stride must fail gflint with a maprange diagnostic pointing at the
+// exact line.
+func TestMutationDeletedGuardsAreCaught(t *testing.T) {
+	root := repoRoot(t)
+	muts := []mutation{
+		{
+			file: "internal/fairshare/fairshare.go",
+			pkg:  "./internal/fairshare",
+			old:  "for _, g := range gpu.Generations() {\n\t\tsum += float64(capacities[g])\n\t}",
+			new:  "for _, c := range capacities {\n\t\tsum += float64(c)\n\t}",
+			// int-valued RHS converted to float64 accumulates into a
+			// float: order-sensitive again.
+			flagged: "sum += float64(c)",
+		},
+		{
+			file:    "internal/fairshare/fairshare.go",
+			pkg:     "./internal/fairshare",
+			old:     "\t// Deterministic iteration order regardless of map layout.\n\tsort.Slice(active, func(i, j int) bool { return active[i].id < active[j].id })\n",
+			new:     "\t_ = sort.Slice // keep the import\n",
+			flagged: "active = append(active, user{id, t, d})",
+		},
+		{
+			file:    "internal/stride/classed.go",
+			pkg:     "./internal/stride",
+			old:     "\tsort.Sort(sort.Reverse(sort.IntSlice(gangs)))\n",
+			new:     "\t_ = sort.Sort // keep the import\n",
+			flagged: "gangs = append(gangs, g)",
+		},
+	}
+	for _, m := range muts {
+		t.Run(m.file+"/"+m.flagged, func(t *testing.T) {
+			full := filepath.Join(root, filepath.FromSlash(m.file))
+			src, err := os.ReadFile(full)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Contains(src, []byte(m.old)) {
+				t.Fatalf("guard text not found in %s; keep this test in sync with the source:\n%s", m.file, m.old)
+			}
+			mutated := bytes.Replace(src, []byte(m.old), []byte(m.new), 1)
+			wantLine := lineOf(t, mutated, m.flagged)
+
+			diags := runOver(t, LoadConfig{
+				Dir:     root,
+				Overlay: map[string][]byte{full: mutated},
+			}, m.pkg)
+
+			for _, d := range diags {
+				if d.Check == "maprange" && strings.HasSuffix(filepath.ToSlash(d.File), m.file) && d.Line == wantLine {
+					return // caught at the exact line
+				}
+			}
+			t.Fatalf("deleting the guard produced no maprange diagnostic at %s:%d; got %v", m.file, wantLine, diags)
+		})
+	}
+}
+
+// lineOf returns the 1-based line of the first occurrence of substr.
+func lineOf(t *testing.T, src []byte, substr string) int {
+	t.Helper()
+	idx := bytes.Index(src, []byte(substr))
+	if idx < 0 {
+		t.Fatalf("statement %q not found in mutated source", substr)
+	}
+	return 1 + bytes.Count(src[:idx], []byte("\n"))
+}
+
+// TestRealModuleClean is the CI contract run in-process: the
+// repository itself must stay free of findings.
+func TestRealModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module; skipped in -short")
+	}
+	if diags := runOver(t, LoadConfig{Dir: repoRoot(t)}, "./..."); len(diags) != 0 {
+		var b strings.Builder
+		for _, d := range diags {
+			b.WriteString(d.String())
+			b.WriteString("\n")
+		}
+		t.Fatalf("gflint findings in the repository:\n%s", b.String())
+	}
+}

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment:
+//
+//	//gflint:ignore <check> <one-line justification>
+//
+// The directive suppresses findings of the named check on the same
+// line (trailing comment) or on the line directly below (own-line
+// comment above the flagged statement).
+const directivePrefix = "//gflint:ignore"
+
+// Directive is one parsed suppression comment.
+type Directive struct {
+	Check  string // analyzer name the directive targets
+	Reason string // mandatory one-line justification
+	Line   int
+	File   string
+	pos    token.Pos
+}
+
+// collectDirectives scans all comments for gflint:ignore directives,
+// keyed by file and line. Malformed directives (missing check or
+// reason) are kept with the zero Check/Reason so directiveProblems can
+// report them.
+func collectDirectives(fset *token.FileSet, files []*ast.File) map[string]map[int][]Directive {
+	out := make(map[string]map[int][]Directive)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
+				pos := fset.Position(c.Pos())
+				d := Directive{Line: pos.Line, File: pos.Filename, pos: c.Pos()}
+				if fields := strings.Fields(rest); len(fields) > 0 {
+					d.Check = fields[0]
+					d.Reason = strings.TrimSpace(strings.TrimPrefix(rest, fields[0]))
+				}
+				m := out[pos.Filename]
+				if m == nil {
+					m = make(map[int][]Directive)
+					out[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], d)
+			}
+		}
+	}
+	return out
+}
+
+func (p *Package) directivesByFile(file string) (map[int][]Directive, bool) {
+	m, ok := p.directives[file]
+	return m, ok
+}
+
+// suppressed reports whether a directive in pkg covers the diagnostic:
+// same check name, on the diagnostic's line or the line above.
+func suppressed(pkg *Package, d Diagnostic) bool {
+	if pkg == nil {
+		return false
+	}
+	byLine, ok := pkg.directivesByFile(d.File)
+	if !ok {
+		return false
+	}
+	for _, line := range []int{d.Line, d.Line - 1} {
+		for _, dir := range byLine[line] {
+			if dir.Check == d.Check && dir.Reason != "" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// directiveProblems reports malformed suppression directives: missing
+// check name, unknown check name, or missing justification. These are
+// emitted under check "directive" and cannot themselves be suppressed.
+func directiveProblems(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, byLine := range pkg.directives {
+		for _, dirs := range byLine {
+			for _, dir := range dirs {
+				var msg string
+				switch {
+				case dir.Check == "":
+					msg = "suppression directive names no check: want //gflint:ignore <check> <reason>"
+				case !known[dir.Check]:
+					msg = "suppression directive names unknown check " + dir.Check
+				case dir.Reason == "":
+					msg = "suppression of " + dir.Check + " carries no justification"
+				default:
+					continue
+				}
+				out = append(out, Diagnostic{
+					Check:   "directive",
+					File:    dir.File,
+					Line:    dir.Line,
+					Col:     pkg.Fset.Position(dir.pos).Column,
+					Message: msg,
+				})
+			}
+		}
+	}
+	// The nested ranges above follow map order; Run's final sort keys
+	// on position only, so order ties here (two directives on one
+	// line) by message as well.
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Message < b.Message
+	})
+	return out
+}

@@ -1,0 +1,12 @@
+// Command tool exercises the wallclock cmd/ allowlist: entry points
+// may read the wall clock.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	fmt.Println(time.Now())
+}

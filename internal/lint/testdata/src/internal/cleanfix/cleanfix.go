@@ -1,0 +1,38 @@
+// Package cleanfix is the corpus's clean file: deterministic idioms
+// only, so no analyzer may report anything here.
+package cleanfix
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Fractions normalizes values over sorted keys.
+func Fractions(m map[string]float64) map[string]float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var total float64
+	for _, k := range keys {
+		total += m[k]
+	}
+	out := make(map[string]float64, len(m))
+	if total <= 0 {
+		return out
+	}
+	for _, k := range keys {
+		out[k] = m[k] / total
+	}
+	return out
+}
+
+// Sample draws from a caller-seeded RNG outside any map iteration.
+func Sample(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64()
+	}
+	return out
+}

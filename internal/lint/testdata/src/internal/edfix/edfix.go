@@ -1,0 +1,35 @@
+// Package edfix exercises errdrop: bare calls that return an error
+// are findings; explicit discards, defers, handled errors, and
+// never-failing in-memory writers are not.
+package edfix
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func BadDrop(name string) {
+	os.Remove(name)
+}
+
+func ExplicitDiscard(name string) {
+	_ = os.Remove(name)
+}
+
+func DeferredClose(f *os.File) {
+	defer f.Close()
+}
+
+func Handled(name string) error {
+	if err := os.Remove(name); err != nil {
+		return err
+	}
+	return nil
+}
+
+func MemWriter() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "x=%d", 1)
+	return b.String()
+}

@@ -1,0 +1,18 @@
+// Package grfix exercises globalrand: top-level math/rand calls hit
+// the shared global RNG; a seeded local *rand.Rand is fine.
+package grfix
+
+import "math/rand"
+
+func BadGlobal() int {
+	return rand.Intn(6)
+}
+
+func BadShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+func SeededLocal(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}

@@ -1,0 +1,14 @@
+// Package obs is a stub of the real observability package. It doubles
+// as the wallclock-allowlist fixture: obs may read the wall clock.
+package obs
+
+import "time"
+
+// Observer is a stub metrics sink.
+type Observer struct{}
+
+// SetShare refreshes a per-user gauge pair.
+func (o *Observer) SetShare(user string, used, fair float64) {}
+
+// Stamp reads the wall clock; allowlisted, so not a finding.
+func Stamp() time.Time { return time.Now() }

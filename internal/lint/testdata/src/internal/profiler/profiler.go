@@ -1,0 +1,15 @@
+// Package profiler is a stub of the real profiler: Observe and
+// ProbeAll consume a shared RNG stream, Rate is a pure read.
+package profiler
+
+// Profiler is a stub estimator.
+type Profiler struct{}
+
+// Observe records one noisy measurement (consumes the RNG).
+func (p *Profiler) Observe(id int, gen int) {}
+
+// ProbeAll measures every generation (consumes the RNG).
+func (p *Profiler) ProbeAll(id int) {}
+
+// Rate returns an estimate without touching the RNG.
+func (p *Profiler) Rate(id int) (float64, bool) { return 0, false }

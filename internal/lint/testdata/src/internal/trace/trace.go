@@ -1,0 +1,6 @@
+// Package trace is a stub of the real trace package: maprange matches
+// emission calls by import path, so the fixture module mirrors it.
+package trace
+
+// Emit records one event.
+func Emit(args ...any) {}

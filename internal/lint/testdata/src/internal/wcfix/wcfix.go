@@ -1,0 +1,22 @@
+// Package wcfix exercises the wallclock analyzer: every time.Now /
+// Sleep / Since here is a finding (the package is not allowlisted).
+package wcfix
+
+import "time"
+
+func BadMeasure() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}
+
+// FuncValue stores a wall-clock reader without calling it; still a
+// finding (the value escapes into sim logic).
+func FuncValue() func() time.Time {
+	return time.Now
+}
+
+// DurationMath only manipulates durations, never reads the clock.
+func DurationMath(d time.Duration) time.Duration {
+	return d * 2
+}

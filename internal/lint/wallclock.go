@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WallClockAnalyzer flags wall-clock time usage outside the packages
+// that legitimately deal in real time. Simulation logic must run on
+// internal/simclock virtual time: a time.Now or time.Sleep in the
+// scheduler couples results to the host machine and breaks the
+// byte-identical reproducibility the experiments depend on.
+//
+// Allowlisted packages: internal/obs (phase profiling measures real
+// scheduler latency), internal/comm (a real network transport), and
+// everything under cmd/ (operator-facing tooling).
+var WallClockAnalyzer = &Analyzer{
+	Name: "wallclock",
+	Doc:  "wall-clock time (time.Now/Since/Sleep/...) outside obs, comm, and cmd; sim logic uses internal/simclock",
+	Run:  runWallClock,
+}
+
+// wallClockAllowed lists import-path prefixes where real time is fine.
+var wallClockAllowed = []string{
+	"repro/internal/obs",
+	"repro/internal/comm",
+	"repro/cmd/",
+}
+
+// wallClockFuncs are the time package entry points that read or wait
+// on the host clock. Pure constructors and conversions (time.Duration,
+// time.Unix) are not listed.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+func runWallClock(pass *Pass) {
+	for _, prefix := range wallClockAllowed {
+		if pass.Pkg.Path == strings.TrimSuffix(prefix, "/") || strings.HasPrefix(pass.Pkg.Path, prefix) {
+			return
+		}
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if wallClockFuncs[fn.Name()] {
+				pass.Report(sel.Pos(),
+					"time.%s reads the wall clock; simulation logic must use internal/simclock virtual time",
+					fn.Name())
+			}
+			return true
+		})
+	}
+}

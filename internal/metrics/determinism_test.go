@@ -1,0 +1,29 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/job"
+)
+
+// TestShareFractionsRepeatable guards the sorted-keys fix in
+// ShareFractions: the usage values span many orders of magnitude, so a
+// total summed in map-iteration order would round differently between
+// calls and shift every fraction.
+func TestShareFractionsRepeatable(t *testing.T) {
+	byUser := make(map[job.UserID]float64, 40)
+	for i := 0; i < 40; i++ {
+		byUser[job.UserID(fmt.Sprintf("u%03d", i))] = math.Exp2(float64(i%60-30)) * (1 + float64(i)/math.Pi)
+	}
+	want := ShareFractions(byUser)
+	for trial := 1; trial < 150; trial++ {
+		got := ShareFractions(byUser)
+		for u, v := range want {
+			if got[u] != v {
+				t.Fatalf("trial %d differs at %s: %v vs %v", trial, u, got[u], v)
+			}
+		}
+	}
+}

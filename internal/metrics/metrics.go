@@ -78,8 +78,8 @@ func quantile(sorted []float64, q float64) float64 {
 // All-zero usage returns an empty map.
 func ShareFractions(byUser map[job.UserID]float64) map[job.UserID]float64 {
 	var total float64
-	for _, v := range byUser {
-		total += v
+	for _, u := range job.SortedUsers(byUser) {
+		total += byUser[u]
 	}
 	out := make(map[job.UserID]float64, len(byUser))
 	if total <= 0 {

@@ -36,8 +36,8 @@ func RenderTimeline(w io.Writer, tl *Timeline, users []job.UserID, width int, ca
 	for _, win := range tl.Windows() {
 		capGPUSecs := float64(capacityGPUs) * win.End.Sub(win.Start)
 		var total float64
-		for _, v := range win.ByUser {
-			total += v
+		for _, u := range job.SortedUsers(win.ByUser) {
+			total += win.ByUser[u]
 		}
 		denom := total
 		if capacityGPUs > 0 {

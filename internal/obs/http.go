@@ -16,6 +16,7 @@ func Handler(o *Observer) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		//gflint:ignore errdrop a client that hung up mid-response has no remedy
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -25,12 +26,14 @@ func Handler(o *Observer) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		//gflint:ignore errdrop a client that hung up mid-response has no remedy
 		reg.WritePrometheus(w)
 	})
 	mux.HandleFunc("/debug/sched", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
+		//gflint:ignore errdrop a client that hung up mid-response has no remedy
 		enc.Encode(o.Snapshot())
 	})
 	return mux

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"sort"
 	"sync"
 	"time"
 )
@@ -253,13 +254,16 @@ func (o *Observer) EndRound(active, pending int) {
 	built := o.building
 	o.building = make(map[Phase]float64, len(built))
 	o.lastRound = built
+	phases := make([]Phase, 0, len(built))
 	for p, secs := range built {
 		o.totals[p] += secs
+		phases = append(phases, p)
 	}
 	o.mu.Unlock()
-	for p, secs := range built {
+	sort.Slice(phases, func(i, j int) bool { return phases[i] < phases[j] })
+	for _, p := range phases {
 		if h := o.phaseHist[p]; h != nil {
-			h.Observe(secs)
+			h.Observe(built[p])
 		}
 	}
 	o.roundsTotal.Inc()

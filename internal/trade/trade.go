@@ -322,8 +322,8 @@ func apply(alloc fairshare.Allocation, t Trade) {
 // increase for both parties.
 func ValueOf(e fairshare.Entitlement, v [gpu.NumGenerations]float64) float64 {
 	var sum float64
-	for g, x := range e {
-		sum += x * v[g]
+	for _, g := range gpu.Generations() {
+		sum += e[g] * v[g]
 	}
 	return sum
 }
