@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Soak smoke test for the probabilistic fault model: run short seeded
+# soaks under the race detector. Every iteration runs the full engine
+# under the strict auditor with the complete fault stack (server
+# crashes, flaky server + quarantine, GPU degradation, job
+# crash-restart, migration failures) and verifies the robustness
+# contract — no job lost, audit clean, fairness in band, compensation
+# books balanced, byte-identical rerun on the same seed. gfsoak exits
+# nonzero on any contract violation.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+for SEED in 42 7; do
+  echo "=== soak seed $SEED ==="
+  go run -race ./cmd/gfsoak -seed "$SEED" -iters 2 -hours 6
+done
+
+# The scenario front door must accept fault-model JSON end to end.
+go run -race ./cmd/gfsim -scenario scenarios/faulty.json >/dev/null
+
+echo "soak smoke test passed"

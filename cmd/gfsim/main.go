@@ -257,6 +257,24 @@ func report(res *core.Result, users []job.UserID) {
 	}
 	fmt.Printf("migrations  : %d\n", res.Migrations)
 	fmt.Printf("trades      : %d\n", res.TradeCount)
+	// Fault-model lines appear only when the probabilistic model was
+	// on (CompDeficitByUser is nil otherwise), keeping legacy output
+	// byte-identical.
+	if res.CompDeficitByUser != nil {
+		fmt.Printf("faults      : %d job crashes, %d failed migrations, %d quarantines\n",
+			res.Crashes, res.MigrationFailures, res.Quarantines)
+		debtors := make([]job.UserID, 0, len(res.CompDeficitByUser))
+		for u := range res.CompDeficitByUser {
+			debtors = append(debtors, u)
+		}
+		sort.Slice(debtors, func(i, j int) bool { return debtors[i] < debtors[j] })
+		owed := 0.0
+		for _, u := range debtors {
+			owed += res.CompDeficitByUser[u]
+		}
+		fmt.Printf("compensation: %.1f GPU-h repaid, %.1f GPU-h outstanding\n",
+			res.CompRepaidGPUSeconds/3600, owed/3600)
+	}
 	fmt.Printf("share error : %.1f%% (max deviation from water-filled entitlement)\n",
 		100*res.MaxShareError())
 

@@ -67,6 +67,8 @@ const (
 	InvTickets      = "tickets"      // runtime ticket state stays non-negative
 	InvConservation = "conservation" // charged GPU-seconds per round ≤ capacity × quantum, per generation
 	InvUsefulBound  = "useful-bound" // useful seconds ≤ occupied seconds ≤ quantum, per job
+	InvQuarantine   = "quarantine"   // no placed device sits on a quarantined server
+	InvCompensation = "compensation" // per-user fault deficit drains monotonically while the user is active
 )
 
 // AuditViolation is one recorded invariant breach.
@@ -190,7 +192,7 @@ func (a *auditor) beginRound(round int, now simclock.Time, caps map[gpu.Generati
 
 // checkAssignment audits the concrete device placement of one round:
 // gang integrity, capacity, double placement, and failed servers.
-func (a *auditor) checkAssignment(asg placement.Assignment, active map[job.ID]*job.Job, down map[gpu.ServerID]bool) {
+func (a *auditor) checkAssignment(asg placement.Assignment, active map[job.ID]*job.Job, down, quarantined map[gpu.ServerID]bool) {
 	if !a.on() {
 		return
 	}
@@ -224,6 +226,9 @@ func (a *auditor) checkAssignment(asg placement.Assignment, active map[job.ID]*j
 			if down[dev.Server] {
 				a.violate(InvDownServer, "job %d placed on failed server %d (device %d)", id, dev.Server, d)
 			}
+			if quarantined[dev.Server] {
+				a.violate(InvQuarantine, "job %d placed on quarantined server %d (device %d)", id, dev.Server, d)
+			}
 		}
 		if len(devs) > 0 && !j.Perf.FitsOn(gen) {
 			a.violate(InvGang, "job %d (%s) placed on unusable generation %v", id, j.Perf.Model, gen)
@@ -255,6 +260,49 @@ func (a *auditor) noteExec(j *job.Job, gen gpu.Generation, info RanInfo) {
 		a.violate(InvUsefulBound, "job %d negative accounting: useful %v, occupied %v", j.ID, info.UsefulSecs, info.OccupiedSecs)
 	}
 	a.busyGen[gen] += float64(j.Gang) * info.OccupiedSecs
+}
+
+// noteFaultCharge accrues occupied GPU-seconds charged outside
+// executeJob (a failed migration attempt holds its reserved target
+// devices for the attempt's duration) so conservation stays exact.
+func (a *auditor) noteFaultCharge(gen gpu.Generation, gangSecs float64) {
+	if !a.on() {
+		return
+	}
+	a.busyGen[gen] += gangSecs
+}
+
+// checkCompensation audits one round of failure-compensation
+// accounting per user: repayment is non-negative, never exceeds the
+// deficit the policy was shown, and the deficit evolves exactly as
+// before + lost − repaid ≥ 0. Together these make the deficit
+// monotonically drain while the user is active and no new losses
+// accrue. users must be sorted (deterministic violation order).
+func (a *auditor) checkCompensation(users []job.UserID, before, lost, repaid, after map[job.UserID]float64) {
+	if !a.on() {
+		return
+	}
+	const tol = 1e-6
+	for _, u := range users {
+		a.rep.Checks++
+		b, l, r, aft := before[u], lost[u], repaid[u], after[u]
+		if r < -tol {
+			a.violate(InvCompensation, "user %s repaid negative %v GPU-s", u, r)
+		}
+		if r > b+tol*(1+b) {
+			a.violate(InvCompensation, "user %s repaid %v GPU-s exceeds deficit %v", u, r, b)
+		}
+		want := b + l - r
+		if want < 0 {
+			want = 0
+		}
+		if diff := aft - want; diff > tol*(1+want) || diff < -tol*(1+want) {
+			a.violate(InvCompensation, "user %s deficit %v, want %v (= %v + %v − %v)", u, aft, want, b, l, r)
+		}
+		if aft < -tol {
+			a.violate(InvCompensation, "user %s negative deficit %v", u, aft)
+		}
+	}
 }
 
 // endRound verifies GPU-second conservation for the round and, in

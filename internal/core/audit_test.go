@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/job"
+	"repro/internal/workload"
+)
+
+// mkAuditor builds a strict auditor over a small cluster with one
+// active gang-1 job, returning both plus the job's device assignment.
+func mkAuditor(t *testing.T) (*auditor, map[job.ID]*job.Job, []gpu.DeviceID) {
+	t.Helper()
+	cl := gpu.MustNew(gpu.Spec{Gen: gpu.K80, Servers: 2, GPUsPerSrv: 2})
+	specs := workload.BatchJobs("u", workload.DefaultZoo().MustGet("vae"), 1, 1, 1)
+	specs, _ = workload.AssignIDs(specs)
+	j, err := job.New(specs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := newAuditor(AuditStrict, cl, 360)
+	a.beginRound(1, 0, map[gpu.Generation]int{gpu.K80: 4}, nil)
+	return a, map[job.ID]*job.Job{j.ID: j}, cl.Server(0).Devices
+}
+
+func TestAuditQuarantineInvariant(t *testing.T) {
+	a, active, devs := mkAuditor(t)
+	var id job.ID
+	for i := range active {
+		id = i
+	}
+	asg := map[job.ID][]gpu.DeviceID{id: devs[:1]}
+
+	// Placement on a healthy, unquarantined server is clean.
+	a.checkAssignment(asg, active, nil, nil)
+	if n := a.rep.Counts[InvQuarantine]; n != 0 {
+		t.Fatalf("clean placement flagged: %d quarantine violations", n)
+	}
+
+	// The same placement with the server quarantined must violate
+	// InvQuarantine — and only it (the server is not down).
+	a.checkAssignment(asg, active, nil, map[gpu.ServerID]bool{0: true})
+	if n := a.rep.Counts[InvQuarantine]; n != 1 {
+		t.Errorf("quarantined-server placement: %d violations, want 1", n)
+	}
+	if n := a.rep.Counts[InvDownServer]; n != 0 {
+		t.Errorf("quarantine misreported as down-server: %d", n)
+	}
+
+	// Down and quarantined are independent invariants: both fire when
+	// both states hold.
+	a.checkAssignment(asg, active, map[gpu.ServerID]bool{0: true}, map[gpu.ServerID]bool{0: true})
+	if a.rep.Counts[InvQuarantine] != 2 || a.rep.Counts[InvDownServer] != 1 {
+		t.Errorf("down+quarantined: got quarantine=%d down=%d, want 2 and 1",
+			a.rep.Counts[InvQuarantine], a.rep.Counts[InvDownServer])
+	}
+}
+
+func TestAuditCompensationInvariant(t *testing.T) {
+	users := []job.UserID{"u"}
+	cases := []struct {
+		name                      string
+		before, lost, repaid, aft float64
+		violations                int
+	}{
+		{"clean accrual", 0, 720, 0, 720, 0},
+		{"clean drain", 720, 0, 300, 420, 0},
+		{"clean payoff", 500, 0, 500, 0, 0},
+		{"negative repaid", 100, 0, -5, 105, 1},
+		{"repaid exceeds deficit", 100, 0, 150, 0, 1}, // balance fine: want is negative-clamped
+		{"books off", 100, 100, 0, 100, 1},
+		{"negative after", 0, 0, 0, -50, 2}, // negative + balance
+	}
+	for _, tc := range cases {
+		a, _, _ := mkAuditor(t)
+		a.checkCompensation(users,
+			map[job.UserID]float64{"u": tc.before},
+			map[job.UserID]float64{"u": tc.lost},
+			map[job.UserID]float64{"u": tc.repaid},
+			map[job.UserID]float64{"u": tc.aft})
+		if got := a.rep.Counts[InvCompensation]; got != tc.violations {
+			t.Errorf("%s: %d violations, want %d", tc.name, got, tc.violations)
+		}
+	}
+}
+
+func TestAuditCompensationMonotoneDrain(t *testing.T) {
+	// While a user is active and accrues no new losses, the deficit
+	// must never rise: a round claiming it did is a violation.
+	a, _, _ := mkAuditor(t)
+	users := []job.UserID{"u"}
+	deficit := 1000.0
+	for round := 0; round < 5; round++ {
+		repaid := 150.0
+		after := deficit - repaid
+		a.checkCompensation(users,
+			map[job.UserID]float64{"u": deficit},
+			nil,
+			map[job.UserID]float64{"u": repaid},
+			map[job.UserID]float64{"u": after})
+		deficit = after
+	}
+	if n := a.rep.Counts[InvCompensation]; n != 0 {
+		t.Fatalf("monotone drain flagged: %d violations", n)
+	}
+	// A deficit that grows without a loss must be flagged.
+	a.checkCompensation(users,
+		map[job.UserID]float64{"u": deficit},
+		nil,
+		nil,
+		map[job.UserID]float64{"u": deficit + 1})
+	if n := a.rep.Counts[InvCompensation]; n != 1 {
+		t.Fatalf("spontaneous deficit growth not flagged (violations=%d)", n)
+	}
+}

@@ -38,6 +38,16 @@ type FairConfig struct {
 	// flattened over the currently active users (see
 	// fairshare.Hierarchy). RoundState tickets are then ignored.
 	Hierarchy *fairshare.Hierarchy
+
+	// DisableCompensation turns off failure compensation: deficits in
+	// RoundState.Deficit are ignored and Decision.Repaid stays nil
+	// (the compensation ablation).
+	DisableCompensation bool
+
+	// CompMaxShare caps per-round failure repayment at this fraction
+	// of total capacity, so catch-up cannot crowd out live shares.
+	// Zero means 0.25.
+	CompMaxShare float64
 }
 
 // FairPolicy implements Gandiva_fair: ticket fair share with
@@ -73,8 +83,9 @@ type FairPolicy struct {
 	jobUser   map[job.ID]job.UserID
 
 	round     int
-	noMigrate bool           // engine refuses migrations this run
-	lastMig   map[job.ID]int // round of the job's last generation change
+	noMigrate bool            // engine refuses migrations this run
+	pinned    map[job.ID]bool // jobs in migration-failure backoff this round
+	lastMig   map[job.ID]int  // round of the job's last generation change
 
 	// pending maps jobs scheduled this round to their charging info,
 	// consumed by Executed.
@@ -102,6 +113,12 @@ func NewFairPolicy(cfg FairConfig) (*FairPolicy, error) {
 	}
 	if cfg.MigrationCooldown < 0 {
 		return nil, fmt.Errorf("core: negative MigrationCooldown")
+	}
+	if cfg.CompMaxShare == 0 {
+		cfg.CompMaxShare = 0.25
+	}
+	if cfg.CompMaxShare < 0 || cfg.CompMaxShare > 1 {
+		return nil, fmt.Errorf("core: CompMaxShare %v outside (0,1]", cfg.CompMaxShare)
 	}
 	if err := cfg.Trade.Validate(); err != nil {
 		return nil, err
@@ -155,6 +172,29 @@ func (p *FairPolicy) Decide(st *RoundState) Decision {
 		jobsPer[u] = len(js)
 	}
 	alloc := fairshare.ComputeAllocation(tickets, demand, caps)
+	// Failure compensation: repay users' fault deficits off the top
+	// of the water-fill, before surplus redistribution, so GPU time
+	// lost to faults is restored instead of diluted away.
+	var repaid map[job.UserID]float64
+	if !p.cfg.DisableCompensation && len(st.Deficit) > 0 && st.Quantum > 0 {
+		debt := make(map[job.UserID]float64)
+		for u, d := range st.Deficit {
+			if d > 0 && demand[u] > 0 {
+				debt[u] = d / st.Quantum // GPU-seconds owed → GPUs this round
+			}
+		}
+		if len(debt) > 0 {
+			withDebt, granted := fairshare.ComputeAllocationWithDebt(tickets, demand, caps, debt, p.cfg.CompMaxShare)
+			alloc = withDebt
+			// A non-nil map — even with zero grants — tells the engine
+			// the policy is compensating, so materialized catch-up may
+			// drain the deficit (see Sim.settleCompensation).
+			repaid = make(map[job.UserID]float64, len(granted))
+			for u, g := range granted {
+				repaid[u] = g * st.Quantum
+			}
+		}
+	}
 	st.Obs.PhaseEnd(obs.PhaseWaterfill)
 
 	// 2. Trading.
@@ -194,6 +234,7 @@ func (p *FairPolicy) Decide(st *RoundState) Decision {
 	// 4. Selection.
 	p.round++
 	p.noMigrate = st.MigrationDisabled
+	p.pinned = st.Pinned
 	jobTickets := fairshare.JobTickets(tickets, jobsPer)
 	remaining := make(map[gpu.Generation]int, len(caps))
 	for g, c := range caps {
@@ -289,7 +330,7 @@ func (p *FairPolicy) Decide(st *RoundState) Decision {
 		}
 	}
 
-	return Decision{Run: run, Trades: trades}
+	return Decision{Run: run, Trades: trades, Repaid: repaid}
 }
 
 // pickGen chooses the generation to fund a job from. Preference
@@ -337,7 +378,7 @@ func (p *FairPolicy) genAllowedWithin(j *job.Job, prevGen map[job.ID]gpu.Generat
 	if !ok || prev == g {
 		return true
 	}
-	if p.noMigrate {
+	if p.noMigrate || p.pinned[j.ID] {
 		return false
 	}
 	return p.round-p.lastMig[j.ID] >= cooldown

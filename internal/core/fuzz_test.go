@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/faults"
 	"repro/internal/gpu"
 	"repro/internal/job"
 	"repro/internal/simclock"
@@ -193,6 +194,7 @@ func TestAuditCorpus(t *testing.T) {
 		name     string
 		failures []Failure
 		changes  []TicketChange
+		faults   *faults.Config
 	}{
 		{
 			name: "overlapping-failures-same-server",
@@ -228,6 +230,47 @@ func TestAuditCorpus(t *testing.T) {
 				{At: simclock.Time(5 * simclock.Hour), User: "b", Tickets: 3},
 			},
 		},
+		{
+			name: "probabilistic-full-stack",
+			faults: &faults.Config{
+				ServerMTBFHours:        6,
+				ServerOutageMeanHours:  0.5,
+				FlakyServers:           1,
+				FlakyMTBFHours:         1,
+				DegradeMTBFHours:       8,
+				DegradeFactor:          0.6,
+				JobCrashMTBFHours:      4,
+				MigrationFailProb:      0.4,
+				QuarantineFailures:     2,
+				QuarantineWindowHours:  2,
+				QuarantineCooloffHours: 1,
+			},
+		},
+		{
+			name: "flaky-quarantine-storm",
+			faults: &faults.Config{
+				FlakyServers:           2,
+				FlakyMTBFHours:         0.5,
+				FlakyOutageMinutes:     8,
+				QuarantineFailures:     2,
+				QuarantineWindowHours:  2,
+				QuarantineCooloffHours: 1,
+			},
+		},
+		{
+			// Every migration attempt fails while declared outages
+			// force displacement — the backoff/pinning machinery under
+			// maximum pressure.
+			name: "certain-migration-failure-under-outages",
+			failures: []Failure{
+				{Server: 0, At: simclock.Time(1 * simclock.Hour), Duration: 2 * simclock.Hour},
+				{Server: 2, At: simclock.Time(2 * simclock.Hour), Duration: 3 * simclock.Hour},
+			},
+			faults: &faults.Config{
+				MigrationFailProb: 1,
+				JobCrashMTBFHours: 6,
+			},
+		},
 	}
 	for _, tc := range cases {
 		for _, trading := range []bool{false, true} {
@@ -242,6 +285,7 @@ func TestAuditCorpus(t *testing.T) {
 					Seed:          7,
 					Failures:      tc.failures,
 					TicketChanges: tc.changes,
+					Faults:        tc.faults,
 					Audit:         AuditStrict,
 				}
 				sim, err := New(cfg, MustNewFairPolicy(FairConfig{EnableTrading: trading}))
@@ -267,17 +311,23 @@ func TestAuditCorpus(t *testing.T) {
 // FuzzEngineAudit is a native fuzz target: the fuzzer mutates a
 // compact byte recipe into a bounded scenario (cluster shape, jobs,
 // overlapping failures, ticket changes to arbitrary values including
-// zero) and the strict auditor must stay clean on every input.
+// zero, and a probabilistic fault schedule selected bit-by-bit from
+// faultBits) and the strict auditor must stay clean on every input.
 //
 // Run with: go test -fuzz FuzzEngineAudit -fuzztime 30s ./internal/core
 func FuzzEngineAudit(f *testing.F) {
 	// Seed corpus: bytes are (seed, servers, gpusPerSrv, jobsA, jobsB,
-	// failureCount, ticketChangeCount, trading).
-	f.Add(uint8(1), uint8(2), uint8(4), uint8(6), uint8(6), uint8(2), uint8(2), false)
-	f.Add(uint8(7), uint8(1), uint8(2), uint8(3), uint8(0), uint8(0), uint8(1), true)
-	f.Add(uint8(42), uint8(3), uint8(1), uint8(8), uint8(8), uint8(4), uint8(3), true)
-	f.Add(uint8(99), uint8(2), uint8(3), uint8(1), uint8(12), uint8(3), uint8(0), false)
-	f.Fuzz(func(t *testing.T, seed, servers, gpus, jobsA, jobsB, nFail, nChange uint8, trading bool) {
+	// failureCount, ticketChangeCount, faultBits, trading). faultBits
+	// 0 keeps the legacy nil-Faults path in the corpus; bits 0..4
+	// enable transient crashes, flaky+quarantine, migration failures,
+	// job crashes and degradation respectively.
+	f.Add(uint8(1), uint8(2), uint8(4), uint8(6), uint8(6), uint8(2), uint8(2), uint8(0), false)
+	f.Add(uint8(7), uint8(1), uint8(2), uint8(3), uint8(0), uint8(0), uint8(1), uint8(0), true)
+	f.Add(uint8(42), uint8(3), uint8(1), uint8(8), uint8(8), uint8(4), uint8(3), uint8(0x1f), true)
+	f.Add(uint8(99), uint8(2), uint8(3), uint8(1), uint8(12), uint8(3), uint8(0), uint8(0x06), false)
+	f.Add(uint8(13), uint8(2), uint8(2), uint8(6), uint8(6), uint8(1), uint8(0), uint8(0x0a), false)
+	f.Add(uint8(5), uint8(3), uint8(4), uint8(9), uint8(4), uint8(0), uint8(2), uint8(0x11), true)
+	f.Fuzz(func(t *testing.T, seed, servers, gpus, jobsA, jobsB, nFail, nChange, faultBits uint8, trading bool) {
 		servers = 1 + servers%3
 		gpus = 1 + gpus%4
 		jobsA, jobsB = jobsA%12, jobsB%12
@@ -320,12 +370,38 @@ func FuzzEngineAudit(f *testing.F) {
 				Tickets: float64(rng.Intn(3)), // 0 is in range on purpose
 			})
 		}
+		var fc *faults.Config
+		if faultBits != 0 {
+			fc = &faults.Config{}
+			if faultBits&0x01 != 0 {
+				fc.ServerMTBFHours = 6
+				fc.ServerOutageMeanHours = 0.5
+			}
+			if faultBits&0x02 != 0 {
+				fc.FlakyServers = 1
+				fc.FlakyMTBFHours = 1
+				fc.QuarantineFailures = 2
+				fc.QuarantineWindowHours = 2
+				fc.QuarantineCooloffHours = 1
+			}
+			if faultBits&0x04 != 0 {
+				fc.MigrationFailProb = 0.5
+			}
+			if faultBits&0x08 != 0 {
+				fc.JobCrashMTBFHours = 4
+			}
+			if faultBits&0x10 != 0 {
+				fc.DegradeMTBFHours = 6
+				fc.DegradeFactor = 0.7
+			}
+		}
 		cfg := Config{
 			Cluster:       cluster,
 			Specs:         trace,
 			Seed:          int64(seed),
 			Failures:      failures,
 			TicketChanges: changes,
+			Faults:        fc,
 			Audit:         AuditStrict,
 		}
 		sim, err := New(cfg, MustNewFairPolicy(FairConfig{EnableTrading: trading}))

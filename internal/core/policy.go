@@ -51,6 +51,23 @@ type RoundState struct {
 	// unplaceable. Use CapacityByGen for the net capacity.
 	Down map[gpu.ServerID]bool
 
+	// Quarantined marks healthy servers the quarantine circuit
+	// breaker has excluded from placement and backfill (flaky-server
+	// cool-off). Disjoint concern from Down — a server can be in
+	// either or both; CapacityByGen subtracts the union once.
+	Quarantined map[gpu.ServerID]bool
+
+	// Pinned marks jobs in migration-failure backoff: the engine will
+	// refuse to move them this round, so policies should only fund
+	// them on their previous generation.
+	Pinned map[job.ID]bool
+
+	// Deficit is each user's outstanding failure-compensation debt in
+	// occupied GPU-seconds (GPU time lost to faults, not yet repaid).
+	// Policies that honor it should report repayments via
+	// Decision.Repaid.
+	Deficit map[job.UserID]float64
+
 	// Obs is the engine's observer — nil when uninstrumented. All its
 	// methods are nil-safe, so policies may call it unconditionally to
 	// time sub-phases (waterfill, trade) and explain their choices.
@@ -61,16 +78,22 @@ type RoundState struct {
 // servers — the capacity policies must plan against.
 func (st *RoundState) CapacityByGen() map[gpu.Generation]int {
 	caps := st.Cluster.CapacityByGen()
-	for sid, down := range st.Down {
-		if !down {
-			continue
-		}
-		srv := st.Cluster.Server(sid)
-		caps[srv.Gen] -= srv.NumGPUs()
-		if caps[srv.Gen] <= 0 {
-			delete(caps, srv.Gen)
+	seen := make(map[gpu.ServerID]bool, len(st.Down)+len(st.Quarantined))
+	subtract := func(m map[gpu.ServerID]bool) {
+		for sid, out := range m {
+			if !out || seen[sid] {
+				continue
+			}
+			seen[sid] = true
+			srv := st.Cluster.Server(sid)
+			caps[srv.Gen] -= srv.NumGPUs()
+			if caps[srv.Gen] <= 0 {
+				delete(caps, srv.Gen)
+			}
 		}
 	}
+	subtract(st.Down)
+	subtract(st.Quarantined)
 	return caps
 }
 
@@ -84,6 +107,16 @@ type Decision struct {
 	// Trades logs the resource trades behind this decision (empty
 	// for policies without trading).
 	Trades []trade.Trade
+
+	// Repaid, when non-nil, declares the policy is honoring
+	// RoundState.Deficit this round; its values are the per-user
+	// entitlement granted beyond the no-debt water-fill share, in
+	// occupied GPU-seconds. The engine drains each participating
+	// debtor's deficit by the catch-up that actually materializes
+	// (occupied time beyond the fair reference, capped at the debt) —
+	// grants surface as excess occupancy via the policy's own credit
+	// accounting. Nil for policies without compensation.
+	Repaid map[job.UserID]float64
 }
 
 // RanInfo describes one job's execution during a round.

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/fairshare"
+	"repro/internal/faults"
 	"repro/internal/gpu"
 	"repro/internal/job"
 	"repro/internal/metrics"
@@ -51,6 +52,15 @@ type Config struct {
 	// displaced — restarting from checkpoint elsewhere when migration
 	// is allowed, waiting for the server otherwise.
 	Failures []Failure
+
+	// Faults enables the probabilistic fault model (generated server
+	// crashes, flaky servers, GPU degradation, job crash-restart,
+	// migration failure) plus the quarantine circuit breaker and
+	// failure compensation. Declared Failures above are compiled into
+	// the same schedule. Nil — the default — keeps the engine's
+	// legacy behavior byte-identical; a non-nil zero Config enables
+	// only the compensation accounting for declared failures.
+	Faults *faults.Config
 
 	// TicketChanges reconfigures a user's tickets at runtime (an
 	// operator action the paper's ticket model supports); each change
@@ -183,6 +193,11 @@ func (c Config) Validate() error {
 	if c.Audit != AuditStrict && c.Audit != AuditCount && c.Audit != AuditOff {
 		return fmt.Errorf("core: invalid audit mode %d", int(c.Audit))
 	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	}
 	if c.TraceCap < 0 {
 		return fmt.Errorf("core: negative TraceCap %d", c.TraceCap)
 	}
@@ -221,6 +236,21 @@ type Result struct {
 
 	Migrations int
 	TradeCount int
+
+	// Fault-model outcomes (all zero when Config.Faults was nil).
+	Crashes           int // job crash-restart events
+	MigrationFailures int // failed migration attempts
+	Quarantines       int // quarantine circuit-breaker trips
+
+	// CompDeficitByUser is the failure-compensation debt still
+	// outstanding at the horizon, in occupied GPU-seconds (nil when
+	// the fault model was off; empty when every loss was repaid or
+	// forgiven on departure).
+	CompDeficitByUser map[job.UserID]float64
+
+	// CompRepaidGPUSeconds is the total failure-compensation debt
+	// repaid over the run, in occupied GPU-seconds.
+	CompRepaidGPUSeconds float64
 
 	Timeline *metrics.Timeline
 	Log      *trace.Log
@@ -333,9 +363,28 @@ type Sim struct {
 	migrations int
 	trades     int
 	rounds     int
-	wasDown    map[gpu.ServerID]bool
 	aud        *auditor
 	obs        *obs.Observer // nil when uninstrumented
+
+	// Fault-model state. The timeline/sweep pair always exists (the
+	// declared Failures list is compiled into it at New); everything
+	// else is live only when cfg.Faults is non-nil.
+	ftl      *faults.Timeline
+	fsweep   *faults.Sweep
+	down     map[gpu.ServerID]bool // current sampled down set
+	faultsOn bool
+	fcfg     faults.Config // defaults applied; valid when faultsOn
+	finj     *faults.Injector
+	breaker  *faults.Breaker
+
+	migFails    map[job.ID]int           // consecutive failed migration attempts
+	pinnedUntil map[job.ID]int           // migration backoff: pinned while rounds ≤ value
+	lastCkpt    map[job.ID]simclock.Time // last durable checkpoint time
+	compDeficit map[job.UserID]float64   // occupied GPU-seconds owed per user
+	compRepaid  float64                  // total GPU-seconds repaid
+	crashes     int
+	migFailures int
+	quarTrips   int
 }
 
 // New builds a simulation for a policy. The config is validated.
@@ -368,9 +417,24 @@ func New(cfg Config, policy Policy) (*Sim, error) {
 		mbByUser:  make(map[job.UserID]float64),
 		busyByGen: make(map[gpu.Generation]float64),
 		capByGen:  make(map[gpu.Generation]float64),
-		wasDown:   make(map[gpu.ServerID]bool),
+		down:      make(map[gpu.ServerID]bool),
 		aud:       newAuditor(cfg.Audit, cfg.Cluster, cfg.Quantum),
 		obs:       cfg.Obs,
+	}
+	// Satellite of the fault model: the declared failure list is
+	// compiled once into sorted per-server intervals instead of being
+	// rescanned every quantum (see faults.Timeline).
+	s.ftl = faults.Compile(declaredOutages(cfg.Failures), nil, cfg.Cluster.NumServers())
+	s.fsweep = faults.NewSweep(s.ftl)
+	if cfg.Faults != nil {
+		s.faultsOn = true
+		s.fcfg = cfg.Faults.WithDefaults()
+		s.finj = faults.NewInjector(*cfg.Faults, cfg.Quantum, cfg.Seed)
+		s.breaker = faults.NewBreaker(*cfg.Faults)
+		s.migFails = make(map[job.ID]int)
+		s.pinnedUntil = make(map[job.ID]int)
+		s.lastCkpt = make(map[job.ID]simclock.Time)
+		s.compDeficit = make(map[job.UserID]float64)
 	}
 	if cfg.TraceCap > 0 {
 		s.log.SetCap(cfg.TraceCap)
@@ -400,6 +464,9 @@ func New(cfg Config, policy Policy) (*Sim, error) {
 func (s *Sim) Run(until simclock.Time) (*Result, error) {
 	if until <= 0 {
 		return nil, fmt.Errorf("core: non-positive horizon")
+	}
+	if err := s.materializeFaults(until); err != nil {
+		return nil, err
 	}
 	for s.clock.Now() < until {
 		if len(s.active) == 0 {
@@ -459,7 +526,65 @@ func (s *Sim) runRound() error {
 		s.ticketQ = s.ticketQ[1:]
 		s.tickets[tc.User] = tc.Tickets
 	}
-	down := s.downServers(now)
+	down := s.updateFaultState(now)
+	quar := s.breaker.Set()
+	s.obs.SetQuarantined(s.breaker.Count())
+	// Servers unusable this round: physically down or quarantined.
+	unavail := down
+	if len(quar) > 0 {
+		unavail = make(map[gpu.ServerID]bool, len(down)+len(quar))
+		for sid := range down {
+			unavail[sid] = true
+		}
+		for sid := range quar {
+			unavail[sid] = true
+		}
+	}
+
+	// Job crash-restart draws, in job-ID order: the injector consumes
+	// one draw per job that held GPUs last quantum, so the visiting
+	// order is part of the seed contract.
+	var faultLoss, roundOcc map[job.UserID]float64
+	if s.faultsOn {
+		faultLoss = make(map[job.UserID]float64)
+		roundOcc = make(map[job.UserID]float64)
+		for _, id := range sortedJobIDs(s.active) {
+			j := s.active[id]
+			if j.Finished() || !j.RanLastQuantum() {
+				continue
+			}
+			if s.finj.CrashNow() {
+				lost := j.Crash()
+				s.crashes++
+				s.log.Add(now, trace.KindJobCrash, id, j.User,
+					fmt.Sprintf("lostMB=%.1f crashes=%d", lost, j.Crashes()))
+				s.obs.NoteFault("job-crash")
+			}
+		}
+	}
+
+	// The policy sees the deficit as of the round start; losses accrued
+	// this round become visible (and repayable) next round.
+	var decideDeficit map[job.UserID]float64
+	if len(s.compDeficit) > 0 {
+		decideDeficit = make(map[job.UserID]float64, len(s.compDeficit))
+		for u, d := range s.compDeficit {
+			decideDeficit[u] = d
+		}
+	}
+
+	// Migration-failure backoff pinning, expiring lapsed entries.
+	var pinned map[job.ID]bool
+	if len(s.pinnedUntil) > 0 {
+		pinned = make(map[job.ID]bool, len(s.pinnedUntil))
+		for _, id := range sortedJobIDsInt(s.pinnedUntil) {
+			if s.rounds > s.pinnedUntil[id] {
+				delete(s.pinnedUntil, id)
+				continue
+			}
+			pinned[id] = true
+		}
+	}
 
 	st := &RoundState{
 		Now:     now,
@@ -472,6 +597,9 @@ func (s *Sim) runRound() error {
 
 		MigrationDisabled: s.cfg.DisableMigration,
 		Down:              down,
+		Quarantined:       quar,
+		Pinned:            pinned,
+		Deficit:           decideDeficit,
 		Obs:               s.obs,
 	}
 	capNow := st.CapacityByGen()
@@ -488,8 +616,15 @@ func (s *Sim) runRound() error {
 	for _, g := range gpu.Generations() {
 		availTotal += float64(capNow[g])
 	}
+	var roundFair map[job.UserID]float64
+	if s.faultsOn {
+		roundFair = make(map[job.UserID]float64, len(demand))
+	}
 	for u, sh := range fairshare.Compute(s.tickets, demand, availTotal) {
 		s.fairUsage[u] += sh * s.cfg.Quantum
+		if roundFair != nil {
+			roundFair[u] = sh * s.cfg.Quantum
+		}
 	}
 	s.obs.PhaseEnd(obs.PhaseWaterfill)
 
@@ -510,13 +645,61 @@ func (s *Sim) runRound() error {
 
 	s.obs.PhaseStart(obs.PhasePlacement)
 	res := placement.Place(s.cfg.Cluster, s.prev, dec.Run,
-		placement.Options{AllowMigration: !s.cfg.DisableMigration, Down: down})
+		placement.Options{AllowMigration: !s.cfg.DisableMigration, Down: unavail, Pinned: pinned})
 	if err := placement.Validate(s.cfg.Cluster, res.Assignment); err != nil {
 		return fmt.Errorf("core: round %d: %w", s.rounds, err)
 	}
 	s.obs.PhaseEnd(obs.PhasePlacement)
+
+	// Migration-failure injection: each migration attempt may fail —
+	// the job pays the copy cost on its reserved target devices but
+	// stays put, retrying later under capped exponential backoff. Draws
+	// happen in res.Migrated order, which placement emits sorted.
+	migFailedNow := make(map[job.ID]bool)
+	if s.finj != nil && len(res.Migrated) > 0 {
+		kept := res.Migrated[:0]
+		for _, id := range res.Migrated {
+			if !s.finj.MigrationFails() {
+				kept = append(kept, id)
+				delete(s.migFails, id)
+				delete(s.pinnedUntil, id)
+				continue
+			}
+			j := s.active[id]
+			devs := res.Assignment[id]
+			gen := s.cfg.Cluster.Device(devs[0]).Gen
+			gang := float64(j.Gang)
+			cost := s.cfg.Costs.MigrationCost(j.Perf)
+			if cost > s.cfg.Quantum {
+				cost = s.cfg.Quantum
+			}
+			// The attempt held its reserved target devices for the
+			// checkpoint copy: occupied time is charged, no progress made,
+			// and the rest of the quantum is lost to the fault.
+			j.AddOverhead(cost)
+			s.addUsage(j.User, gen, gang*cost)
+			s.busyByGen[gen] += gang * cost
+			s.tl.Add(now, j.User, gang*cost)
+			s.aud.noteFaultCharge(gen, gang*cost)
+			roundOcc[j.User] += gang * cost
+			faultLoss[j.User] += gang * (s.cfg.Quantum - cost)
+			s.migFails[id]++
+			s.migFailures++
+			backoff := faults.Backoff(s.fcfg, s.migFails[id])
+			s.pinnedUntil[id] = s.rounds + backoff
+			migFailedNow[id] = true
+			delete(res.Assignment, id)
+			res.Unplaced = append(res.Unplaced, id)
+			s.log.Add(now, trace.KindMigFail, id, j.User,
+				fmt.Sprintf("attempt=%d backoff=%d cost=%.0fs", s.migFails[id], backoff, cost))
+			s.obs.NoteFault("migration-fail")
+		}
+		res.Migrated = kept
+		sort.Slice(res.Unplaced, func(i, j int) bool { return res.Unplaced[i] < res.Unplaced[j] })
+	}
+
 	s.obs.PhaseStart(obs.PhaseAudit)
-	s.aud.checkAssignment(res.Assignment, s.active, down)
+	s.aud.checkAssignment(res.Assignment, s.active, down, quar)
 	s.obs.PhaseEnd(obs.PhaseAudit)
 
 	s.obs.PhaseStart(obs.PhaseMigrate)
@@ -592,11 +775,36 @@ func (s *Sim) runRound() error {
 			delete(s.active, id)
 			delete(s.prev, id)
 			delete(s.prevGen, id)
+			if s.faultsOn {
+				delete(s.migFails, id)
+				delete(s.pinnedUntil, id)
+				delete(s.lastCkpt, id)
+			}
 			continue
 		}
 		ran := ranThisRound[id]
 		if j.State() == job.Running && !ran {
 			j.SetRunning(false)
+			if s.faultsOn {
+				// Suspension serializes the job (Gandiva's suspend is
+				// checkpoint-based), so its progress becomes durable.
+				j.NoteCheckpoint()
+				s.lastCkpt[id] = now
+			}
+		}
+		if s.faultsOn && !ran && !migFailedNow[id] {
+			// A job stranded because its servers are down or quarantined
+			// loses the whole quantum of occupied share to the fault —
+			// that shortfall becomes its user's compensation debt.
+			// (Failed migrations were already charged above.)
+			if devs, ok := s.prev[id]; ok {
+				for _, d := range devs {
+					if unavail[s.cfg.Cluster.Device(d).Server] {
+						faultLoss[j.User] += float64(j.Gang) * s.cfg.Quantum
+						break
+					}
+				}
+			}
 		}
 		j.NoteQuantum(ran)
 	}
@@ -625,12 +833,118 @@ func (s *Sim) runRound() error {
 	s.prev = newPrev
 
 	s.policy.Executed(rep)
+	if s.faultsOn {
+		// Cap each user's raw fault loss at their actual share shortfall
+		// this round (fair entitlement minus occupied time). A user whose
+		// other jobs soaked up their full water-filled share lost nothing
+		// in the fairness currency, and compensating the per-job loss
+		// anyway would push them above the reference.
+		for _, id := range placed {
+			if info, ok := rep.Ran[id]; ok {
+				roundOcc[info.User] += float64(info.Gang) * info.OccupiedSecs
+			}
+		}
+		for _, u := range job.SortedUsers(faultLoss) {
+			shortfall := roundFair[u] - roundOcc[u]
+			if shortfall < 0 {
+				shortfall = 0
+			}
+			if faultLoss[u] > shortfall {
+				faultLoss[u] = shortfall
+			}
+			if faultLoss[u] <= 0 {
+				delete(faultLoss, u)
+			}
+		}
+		s.settleCompensation(faultLoss, dec.Repaid, roundFair, roundOcc)
+	}
 	s.obs.PhaseStart(obs.PhaseAudit)
 	err := s.aud.endRound()
 	s.obs.PhaseEnd(obs.PhaseAudit)
 	s.publishShares()
 	s.obs.EndRound(len(s.active), len(s.pending))
 	return err
+}
+
+// settleCompensation closes the round's failure-compensation books:
+// repayments drain the debt, this round's fault losses add to it, the
+// auditor checks the arithmetic, and users who have fully departed are
+// forgiven. Gauges are refreshed last.
+//
+// Repayment is recognized by materialization, not by grant: when the
+// policy participates in compensation (Decision.Repaid non-nil), a
+// debtor's occupied time beyond their fair reference this round drains
+// the debt, capped at what is owed. Grants flow through the policy's
+// credit accounting and surface as excess occupancy over the following
+// rounds, so recognizing the excess — rather than the grant — keeps a
+// deficit alive when placement could not realize the grant
+// (fragmentation, pinned jobs) and retires it exactly as fast as the
+// user actually catches up.
+func (s *Sim) settleCompensation(lost, repaid, fair, occ map[job.UserID]float64) {
+	users := make(map[job.UserID]float64, len(s.compDeficit)+len(lost)+len(repaid))
+	for u := range s.compDeficit {
+		users[u] = 0
+	}
+	for u := range lost {
+		users[u] = 0
+	}
+	for u := range repaid {
+		users[u] = 0
+	}
+	if len(users) == 0 {
+		return
+	}
+	sorted := job.SortedUsers(users)
+	before := make(map[job.UserID]float64, len(sorted))
+	clamped := make(map[job.UserID]float64, len(sorted))
+	after := make(map[job.UserID]float64, len(sorted))
+	for _, u := range sorted {
+		b := s.compDeficit[u]
+		before[u] = b
+		var r float64
+		if repaid != nil && b > 0 {
+			if r = occ[u] - fair[u]; r < 0 {
+				r = 0
+			}
+			if r > b {
+				r = b
+			}
+		}
+		clamped[u] = r
+		d := b + lost[u] - r
+		if d <= 1e-9 {
+			d = 0
+		}
+		after[u] = d
+		if d == 0 {
+			delete(s.compDeficit, u)
+		} else {
+			s.compDeficit[u] = d
+		}
+		s.compRepaid += r
+		s.obs.SetCompDeficit(string(u), d)
+		s.obs.NoteRepaid(r)
+	}
+	s.aud.checkCompensation(sorted, before, lost, clamped, after)
+	// Forgive debt of users with no jobs left in the system — there is
+	// no demand to repay into, and carrying the deficit forever would
+	// poison the monotone-drain invariant for reappearing user names.
+	if len(s.compDeficit) == 0 {
+		return
+	}
+	present := make(map[job.UserID]bool, len(s.active))
+	for _, j := range s.active {
+		present[j.User] = true
+	}
+	for i := range s.pending {
+		present[s.pending[i].User] = true
+	}
+	for _, u := range job.SortedUsers(s.compDeficit) {
+		if !present[u] {
+			delete(s.compDeficit, u)
+			s.obs.SetCompDeficit(string(u), 0)
+		}
+	}
 }
 
 // publishShares refreshes the per-user share gauges (observed vs
@@ -687,8 +1001,18 @@ func (s *Sim) executeJob(j *job.Job, gen gpu.Generation, devs []gpu.DeviceID, mi
 
 	span := placement.ServersUsed(s.cfg.Cluster, devs)
 	penalty := s.cfg.Costs.SpanPenalty(span)
-	avail := (quantum - overhead) * penalty
-	if lost := (quantum - overhead) * (1 - penalty); lost > 0 {
+	// A degraded server slows the whole gang: synchronous SGD moves at
+	// the slowest worker, so the effective rate is the minimum slowdown
+	// factor over the servers spanned (1 when nothing is degraded).
+	factor := 1.0
+	for _, d := range devs {
+		if f := s.fsweep.Factor(s.cfg.Cluster.Device(d).Server); f < factor {
+			factor = f
+		}
+	}
+	eff := penalty * factor
+	avail := (quantum - overhead) * eff
+	if lost := (quantum - overhead) * (1 - eff); lost > 0 {
 		j.AddOverhead(lost)
 	}
 
@@ -705,15 +1029,34 @@ func (s *Sim) executeJob(j *job.Job, gen gpu.Generation, devs []gpu.DeviceID, mi
 		s.prof.Observe(j, gen)
 	}
 
+	if s.faultsOn && migrated {
+		// Migration serializes a checkpoint of the pre-move progress;
+		// note it before advancing so a later crash rolls back to here.
+		j.NoteCheckpoint()
+		s.lastCkpt[j.ID] = now
+	}
+
 	used, finished := j.Advance(gen, avail, now.Add(overhead))
 	// Occupied wall time: overhead plus useful time (de-scaled by the
-	// span penalty), capped at the quantum. A job finishing mid-round
-	// releases its GPUs for accounting purposes.
+	// span penalty and any degradation), capped at the quantum. A job
+	// finishing mid-round releases its GPUs for accounting purposes.
 	occupied := quantum
-	if finished && penalty > 0 {
-		occupied = overhead + used/penalty
+	if finished && eff > 0 {
+		occupied = overhead + used/eff
 		if occupied > quantum {
 			occupied = quantum
+		}
+	}
+
+	if s.faultsOn && !finished {
+		// Periodic checkpointing: crash-restart loses at most
+		// CheckpointSecs of progress once the first interval elapses.
+		end := now.Add(quantum)
+		if last, ok := s.lastCkpt[j.ID]; !ok {
+			s.lastCkpt[j.ID] = now
+		} else if end.Sub(last) >= s.fcfg.CheckpointSecs {
+			j.NoteCheckpoint()
+			s.lastCkpt[j.ID] = end
 		}
 	}
 
@@ -742,36 +1085,99 @@ func (s *Sim) addUsage(u job.UserID, g gpu.Generation, amount float64) {
 	m[g] += amount
 }
 
-// downServers returns the servers failed at time t and logs
-// failure/recovery transitions.
-func (s *Sim) downServers(t simclock.Time) map[gpu.ServerID]bool {
-	down := make(map[gpu.ServerID]bool)
-	for _, f := range s.cfg.Failures {
-		if t >= f.At && t < f.At.Add(f.Duration) {
-			down[f.Server] = true
+// declaredOutages converts the config's declared failure list into
+// fault-schedule outages.
+func declaredOutages(fs []Failure) []faults.Outage {
+	if len(fs) == 0 {
+		return nil
+	}
+	out := make([]faults.Outage, len(fs))
+	for i, f := range fs {
+		out[i] = faults.Outage{Server: f.Server, At: f.At, Duration: f.Duration, Kind: faults.OutageDeclared}
+	}
+	return out
+}
+
+// materializeFaults generates the probabilistic fault schedule for the
+// run's horizon (if configured) and recompiles the timeline with the
+// declared failures merged in. Called once at the top of Run.
+func (s *Sim) materializeFaults(until simclock.Time) error {
+	if !s.faultsOn {
+		return nil
+	}
+	if s.fcfg.ServerMTBFHours == 0 && s.fcfg.FlakyServers == 0 && s.fcfg.DegradeMTBFHours == 0 {
+		return nil // nothing probabilistic on the server timeline
+	}
+	// Exponential schedules are generated eagerly, so bound the horizon
+	// against pathological callers (e.g. near-Forever).
+	horizon := until
+	if max := simclock.Time(365 * simclock.Day); horizon > max {
+		horizon = max
+	}
+	sched, err := faults.Generate(*s.cfg.Faults, s.cfg.Cluster.NumServers(), horizon, s.cfg.Seed)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	outages := append(declaredOutages(s.cfg.Failures), sched.Outages...)
+	s.ftl = faults.Compile(outages, sched.Degradations, s.cfg.Cluster.NumServers())
+	s.fsweep = faults.NewSweep(s.ftl)
+	return nil
+}
+
+// updateFaultState advances the compiled fault timeline to now,
+// maintains the sampled down set incrementally, feeds the quarantine
+// breaker, and logs every transition. It returns the round's down set
+// (a copy — RoundState and placement must not alias mutable state).
+func (s *Sim) updateFaultState(now simclock.Time) map[gpu.ServerID]bool {
+	// Release expired quarantines before noting new failures so a
+	// server can be re-observed the round it is freed.
+	for _, sid := range s.breaker.ExpireStep(now) {
+		s.log.Add(now, trace.KindUnquarantine, 0, "", fmt.Sprintf("server=%d", sid))
+	}
+	for _, tr := range s.fsweep.Advance(now) {
+		if tr.Slow {
+			if tr.Factor < 1 {
+				s.log.Add(now, trace.KindDegrade, 0, "", fmt.Sprintf("server=%d factor=%.2f", tr.Server, tr.Factor))
+				s.obs.NoteFault("degrade")
+			} else {
+				s.log.Add(now, trace.KindDegradeEnd, 0, "", fmt.Sprintf("server=%d", tr.Server))
+			}
+			continue
+		}
+		if tr.Down {
+			s.down[tr.Server] = true
+			s.log.Add(now, trace.KindFailure, 0, "", fmt.Sprintf("server=%d", tr.Server))
+			s.obs.NoteFault("server-down")
+			if s.breaker.NoteFailure(tr.Server, now) {
+				s.quarTrips++
+				s.log.Add(now, trace.KindQuarantine, 0, "", fmt.Sprintf("server=%d", tr.Server))
+				s.obs.NoteFault("quarantine")
+			}
+		} else {
+			delete(s.down, tr.Server)
+			s.log.Add(now, trace.KindRecovery, 0, "", fmt.Sprintf("server=%d", tr.Server))
 		}
 	}
-	// Log transitions in server-ID order so simultaneous failures (or
-	// recoveries) land in the trace deterministically.
-	for _, sid := range sortedServerIDs(down) {
-		if !s.wasDown[sid] {
-			s.wasDown[sid] = true
-			s.log.Add(t, trace.KindFailure, 0, "", fmt.Sprintf("server=%d", sid))
-		}
-	}
-	for _, sid := range sortedServerIDs(s.wasDown) {
-		if !down[sid] {
-			delete(s.wasDown, sid)
-			s.log.Add(t, trace.KindRecovery, 0, "", fmt.Sprintf("server=%d", sid))
-		}
+	down := make(map[gpu.ServerID]bool, len(s.down))
+	for sid := range s.down {
+		down[sid] = true
 	}
 	return down
 }
 
-func sortedServerIDs(m map[gpu.ServerID]bool) []gpu.ServerID {
-	ids := make([]gpu.ServerID, 0, len(m))
-	for sid := range m {
-		ids = append(ids, sid)
+func sortedJobIDs(m map[job.ID]*job.Job) []job.ID {
+	ids := make([]job.ID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func sortedJobIDsInt(m map[job.ID]int) []job.ID {
+	ids := make([]job.ID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
@@ -817,6 +1223,19 @@ func (s *Sim) checkDecision(dec Decision, caps map[gpu.Generation]int) error {
 	return nil
 }
 
+// resultDeficit snapshots the outstanding compensation debt (nil when
+// the fault model is off, so legacy results are unchanged).
+func (s *Sim) resultDeficit() map[job.UserID]float64 {
+	if !s.faultsOn {
+		return nil
+	}
+	out := make(map[job.UserID]float64, len(s.compDeficit))
+	for u, d := range s.compDeficit {
+		out[u] = d
+	}
+	return out
+}
+
 func (s *Sim) result() *Result {
 	var busy, capTotal float64
 	utilByGen := make(map[gpu.Generation]metrics.Utilization, len(s.capByGen))
@@ -831,22 +1250,27 @@ func (s *Sim) result() *Result {
 		capTotal += c
 	}
 	return &Result{
-		Policy:             s.policy.Name(),
-		Finished:           s.finished,
-		Unfinished:         len(s.active) + len(s.pending),
-		UsageByUserGen:     s.usage,
-		UsefulByUser:       s.useful,
-		FairUsageByUser:    s.fairUsage,
-		ThroughputByUser:   s.mbByUser,
-		Utilization:        metrics.Utilization{BusyGPUSeconds: busy, CapacityGPUSeconds: capTotal},
-		UtilByGen:          utilByGen,
-		Migrations:         s.migrations,
-		TradeCount:         s.trades,
-		Timeline:           s.tl,
-		Log:                s.log,
-		Rounds:             s.rounds,
-		End:                s.clock.Now(),
-		Audit:              s.aud.report(),
-		PhaseTotalsSeconds: s.obs.PhaseTotals(),
+		Policy:               s.policy.Name(),
+		Finished:             s.finished,
+		Unfinished:           len(s.active) + len(s.pending),
+		UsageByUserGen:       s.usage,
+		UsefulByUser:         s.useful,
+		FairUsageByUser:      s.fairUsage,
+		ThroughputByUser:     s.mbByUser,
+		Utilization:          metrics.Utilization{BusyGPUSeconds: busy, CapacityGPUSeconds: capTotal},
+		UtilByGen:            utilByGen,
+		Migrations:           s.migrations,
+		TradeCount:           s.trades,
+		Crashes:              s.crashes,
+		MigrationFailures:    s.migFailures,
+		Quarantines:          s.quarTrips,
+		CompDeficitByUser:    s.resultDeficit(),
+		CompRepaidGPUSeconds: s.compRepaid,
+		Timeline:             s.tl,
+		Log:                  s.log,
+		Rounds:               s.rounds,
+		End:                  s.clock.Now(),
+		Audit:                s.aud.report(),
+		PhaseTotalsSeconds:   s.obs.PhaseTotals(),
 	}
 }

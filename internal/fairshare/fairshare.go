@@ -180,6 +180,96 @@ func ComputeAllocation(tickets, demand map[job.UserID]float64, capacities map[gp
 	return alloc
 }
 
+// ComputeAllocationWithDebt is ComputeAllocation with failure
+// compensation: users owed debt GPUs (GPU-seconds lost to faults,
+// expressed in GPUs for this round) are repaid off the top — their
+// repayment is granted before the remaining capacity is water-filled
+// over the reduced demands — so surplus redistribution cannot starve a
+// user's catch-up. Repayment per round is bounded by
+// maxRepayFrac × capacity (≤ 0 disables repayment), and by each
+// debtor's own demand: a user cannot consume more than they ask for.
+//
+// The second return value is the GPUs each debtor was granted beyond
+// their no-debt water-fill share — the marginal repayment the caller
+// should drain from the debt. Marginal accounting matters: capacity a
+// debtor would have received anyway is their ordinary share, not a
+// repayment, so counting it would drain debt without restoring the
+// user's cumulative position.
+func ComputeAllocationWithDebt(tickets, demand map[job.UserID]float64, capacities map[gpu.Generation]int, debt map[job.UserID]float64, maxRepayFrac float64) (Allocation, map[job.UserID]float64) {
+	var total float64
+	for _, g := range gpu.Generations() {
+		total += float64(capacities[g])
+	}
+	base := Compute(tickets, demand, total)
+
+	// Demand-capped repayment targets, scaled down to the budget if
+	// the round's total debt exceeds it. Deterministic order: debtors
+	// sorted by ID.
+	debtors := make([]job.UserID, 0, len(debt))
+	for u := range debt {
+		debtors = append(debtors, u)
+	}
+	sort.Slice(debtors, func(i, j int) bool { return debtors[i] < debtors[j] })
+	target := make(map[job.UserID]float64, len(debtors))
+	var want float64
+	for _, u := range debtors {
+		r := math.Min(debt[u], demand[u])
+		if r <= eps {
+			continue
+		}
+		target[u] = r
+		want += r
+	}
+	budget := maxRepayFrac * total
+	if budget < 0 {
+		budget = 0
+	}
+	if want > budget {
+		scale := 0.0
+		if want > eps {
+			scale = budget / want
+		}
+		for _, u := range debtors {
+			target[u] *= scale
+		}
+		want = budget
+	}
+
+	// Off-the-top grants, then water-fill the rest over the reduced
+	// demands and remaining capacity.
+	reduced := make(map[job.UserID]float64, len(demand))
+	for u, d := range demand {
+		reduced[u] = d
+	}
+	for _, u := range debtors {
+		reduced[u] -= target[u]
+	}
+	rest := Compute(tickets, reduced, total-want)
+	shares := make(map[job.UserID]float64, len(rest))
+	for u, s := range rest {
+		shares[u] = s
+	}
+	granted := make(map[job.UserID]float64, len(target))
+	for _, u := range debtors {
+		t := target[u]
+		if t <= eps {
+			continue
+		}
+		shares[u] += t
+		// Never drain more debt than the grant itself, even if the
+		// two water-fills round apart.
+		if extra := math.Min(shares[u]-base[u], t); extra > eps {
+			granted[u] = extra
+		}
+	}
+
+	alloc := make(Allocation, len(shares))
+	for u, s := range shares {
+		alloc[u] = SplitByGen(s, capacities)
+	}
+	return alloc, granted
+}
+
 // Validate checks allocation invariants against capacity and demand:
 // per-generation totals within capacity and per-user totals within
 // demand (both up to floating-point slack). It returns the first

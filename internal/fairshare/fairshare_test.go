@@ -249,3 +249,63 @@ func TestMaxShareError(t *testing.T) {
 		t.Errorf("missing observations → %v, want 0.5", e)
 	}
 }
+
+func TestComputeAllocationWithDebt(t *testing.T) {
+	caps := map[gpu.Generation]int{gpu.K80: 12}
+	tickets := map[job.UserID]float64{"a": 1, "b": 1, "c": 1}
+	demand := map[job.UserID]float64{"a": 12, "b": 12, "c": 12}
+
+	// No debt behaves exactly like ComputeAllocation.
+	alloc, granted := ComputeAllocationWithDebt(tickets, demand, caps, nil, 0.25)
+	if len(granted) != 0 {
+		t.Errorf("grants without debt: %v", granted)
+	}
+	plain := ComputeAllocation(tickets, demand, caps)
+	for u := range tickets {
+		if !almost(alloc[u].Total(), plain[u].Total()) {
+			t.Errorf("user %s: debt-free %v != plain %v", u, alloc[u].Total(), plain[u].Total())
+		}
+	}
+
+	// A debtor is repaid off the top: a gets its equal share PLUS the
+	// marginal grant, and the grant equals the reported repayment.
+	debt := map[job.UserID]float64{"a": 2}
+	alloc, granted = ComputeAllocationWithDebt(tickets, demand, caps, debt, 0.25)
+	if err := alloc.Validate(demand, caps); err != nil {
+		t.Fatal(err)
+	}
+	if granted["a"] <= 0 {
+		t.Fatalf("debtor granted nothing: %v", granted)
+	}
+	if got := alloc["a"].Total(); !almost(got, plain["a"].Total()+granted["a"]) {
+		t.Errorf("debtor share %v != base %v + grant %v", got, plain["a"].Total(), granted["a"])
+	}
+
+	// The repayment budget caps the round's total grants.
+	hugeDebt := map[job.UserID]float64{"a": 100, "b": 100}
+	_, granted = ComputeAllocationWithDebt(tickets, demand, caps, hugeDebt, 0.25)
+	var sum float64
+	for _, u := range []job.UserID{"a", "b"} {
+		sum += granted[u]
+	}
+	if sum > 0.25*12+1e-6 {
+		t.Errorf("grants %v exceed 25%% budget", sum)
+	}
+
+	// maxRepayFrac <= 0 disables repayment entirely.
+	_, granted = ComputeAllocationWithDebt(tickets, demand, caps, debt, 0)
+	if len(granted) != 0 {
+		t.Errorf("grants despite zero budget: %v", granted)
+	}
+
+	// Repayment is demand-capped: a debtor with no runnable work
+	// cannot be granted catch-up capacity.
+	idleDemand := map[job.UserID]float64{"a": 0, "b": 12, "c": 12}
+	alloc, granted = ComputeAllocationWithDebt(tickets, idleDemand, caps, debt, 0.25)
+	if len(granted) != 0 {
+		t.Errorf("idle debtor granted %v", granted)
+	}
+	if err := alloc.Validate(idleDemand, caps); err != nil {
+		t.Fatal(err)
+	}
+}

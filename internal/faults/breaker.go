@@ -1,0 +1,127 @@
+package faults
+
+import (
+	"sort"
+
+	"repro/internal/gpu"
+	"repro/internal/simclock"
+)
+
+// Breaker is the per-server quarantine circuit breaker: a server
+// observed failing k times within a sliding window is quarantined —
+// excluded from placement and backfill — until a cool-off expires.
+// Quarantine is scheduler-side state layered on top of the physical
+// timeline: a server can be healthy again (up) yet still quarantined.
+//
+// State machine per server:
+//
+//	closed --(k-th failure within window)--> open (quarantined)
+//	open   --(cool-off elapsed)-----------> closed, history cleared
+//
+// Disabled (k == 0) breakers never trip.
+type Breaker struct {
+	k       int
+	window  simclock.Duration
+	cooloff simclock.Duration
+
+	history map[gpu.ServerID][]simclock.Time // recent failure times, ascending
+	until   map[gpu.ServerID]simclock.Time   // quarantined until, if present
+	trips   int
+}
+
+// NewBreaker builds a breaker from the config (defaults applied).
+func NewBreaker(cfg Config) *Breaker {
+	cfg = cfg.WithDefaults()
+	return &Breaker{
+		k:       cfg.QuarantineFailures,
+		window:  cfg.QuarantineWindowHours * simclock.Hour,
+		cooloff: cfg.QuarantineCooloffHours * simclock.Hour,
+		history: make(map[gpu.ServerID][]simclock.Time),
+		until:   make(map[gpu.ServerID]simclock.Time),
+	}
+}
+
+// NoteFailure records a failure observation for sid at time now and
+// reports whether the breaker newly tripped. Failures observed while
+// already quarantined extend nothing and are dropped (the server is
+// not placeable anyway).
+func (b *Breaker) NoteFailure(sid gpu.ServerID, now simclock.Time) bool {
+	if b == nil || b.k <= 0 {
+		return false
+	}
+	if _, q := b.until[sid]; q {
+		return false
+	}
+	h := append(b.history[sid], now)
+	lo := 0
+	for lo < len(h) && h[lo] <= now.Add(-b.window) {
+		lo++
+	}
+	h = h[lo:]
+	b.history[sid] = h
+	if len(h) < b.k {
+		return false
+	}
+	delete(b.history, sid)
+	b.until[sid] = now.Add(b.cooloff)
+	b.trips++
+	return true
+}
+
+// ExpireStep releases servers whose cool-off has elapsed by now and
+// returns them in ascending server-ID order. Call once per round
+// before noting new failures.
+func (b *Breaker) ExpireStep(now simclock.Time) []gpu.ServerID {
+	if b == nil || len(b.until) == 0 {
+		return nil
+	}
+	var freed []gpu.ServerID
+	for sid, until := range b.until {
+		if until <= now {
+			freed = append(freed, sid)
+		}
+	}
+	sort.Slice(freed, func(i, j int) bool { return freed[i] < freed[j] })
+	for _, sid := range freed {
+		delete(b.until, sid)
+	}
+	return freed
+}
+
+// Quarantined reports whether sid is currently quarantined.
+func (b *Breaker) Quarantined(sid gpu.ServerID) bool {
+	if b == nil {
+		return false
+	}
+	_, q := b.until[sid]
+	return q
+}
+
+// Set returns the current quarantine set as a fresh map (nil when
+// empty).
+func (b *Breaker) Set() map[gpu.ServerID]bool {
+	if b == nil || len(b.until) == 0 {
+		return nil
+	}
+	m := make(map[gpu.ServerID]bool, len(b.until))
+	for sid := range b.until {
+		m[sid] = true
+	}
+	return m
+}
+
+// Count returns the number of currently quarantined servers.
+func (b *Breaker) Count() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.until)
+}
+
+// Trips returns the cumulative number of quarantine trips.
+func (b *Breaker) Trips() int {
+	if b == nil {
+		return 0
+	}
+	return b.trips
+}

@@ -1,0 +1,260 @@
+package faults
+
+import (
+	"sort"
+
+	"repro/internal/gpu"
+	"repro/internal/simclock"
+)
+
+// span is one half-open interval [From, To) on the simulated clock.
+type span struct {
+	From, To simclock.Time
+	Factor   float64 // degradation factor; unused (0) for down spans
+}
+
+// Timeline is the compiled form of a fault schedule: per-server sorted,
+// merged interval lists. Compiling once at simulation start replaces
+// the old per-round rescan of the raw failure list (see
+// BenchmarkDownRescan vs BenchmarkTimelineSweep) and gives the engine
+// O(1)-amortized queries through a Sweep cursor.
+type Timeline struct {
+	down [][]span // indexed by server ID
+	slow [][]span
+}
+
+// Compile builds a Timeline for servers 0..numServers-1. Outages on
+// unknown servers are ignored (declared schedules are validated
+// upstream). Overlapping or adjacent down spans per server are merged;
+// overlapping degradations are flattened to disjoint spans keeping the
+// minimum (worst) factor.
+func Compile(outages []Outage, degradations []Degradation, numServers int) *Timeline {
+	tl := &Timeline{
+		down: make([][]span, numServers),
+		slow: make([][]span, numServers),
+	}
+	for _, o := range outages {
+		s := int(o.Server)
+		if s < 0 || s >= numServers || o.Duration <= 0 {
+			continue
+		}
+		tl.down[s] = append(tl.down[s], span{From: o.At, To: o.At.Add(o.Duration)})
+	}
+	for s := range tl.down {
+		tl.down[s] = mergeSpans(tl.down[s])
+	}
+	for _, d := range degradations {
+		s := int(d.Server)
+		if s < 0 || s >= numServers || d.Duration <= 0 || d.Factor <= 0 || d.Factor >= 1 {
+			continue
+		}
+		tl.slow[s] = append(tl.slow[s], span{From: d.At, To: d.At.Add(d.Duration), Factor: d.Factor})
+	}
+	for s := range tl.slow {
+		tl.slow[s] = flattenDegradations(tl.slow[s])
+	}
+	return tl
+}
+
+// mergeSpans sorts and merges overlapping/adjacent spans.
+func mergeSpans(in []span) []span {
+	if len(in) == 0 {
+		return nil
+	}
+	sort.Slice(in, func(i, j int) bool { return in[i].From < in[j].From })
+	out := in[:1]
+	for _, sp := range in[1:] {
+		last := &out[len(out)-1]
+		if sp.From <= last.To {
+			if sp.To > last.To {
+				last.To = sp.To
+			}
+			continue
+		}
+		out = append(out, sp)
+	}
+	return out
+}
+
+// flattenDegradations converts possibly overlapping factored spans into
+// disjoint sorted spans carrying the minimum factor over the overlap.
+func flattenDegradations(in []span) []span {
+	if len(in) == 0 {
+		return nil
+	}
+	// Collect boundary points, then for each elementary interval take
+	// the min factor over covering spans. Span counts per server are
+	// small; the O(n²) scan keeps the code simple and is compile-time
+	// only.
+	pts := make([]simclock.Time, 0, 2*len(in))
+	for _, sp := range in {
+		pts = append(pts, sp.From, sp.To)
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
+	var out []span
+	for i := 0; i+1 < len(pts); i++ {
+		from, to := pts[i], pts[i+1]
+		if to <= from {
+			continue
+		}
+		factor := 1.0
+		for _, sp := range in {
+			if sp.From <= from && to <= sp.To && sp.Factor < factor {
+				factor = sp.Factor
+			}
+		}
+		if factor >= 1 {
+			continue
+		}
+		if n := len(out); n > 0 && out[n-1].To == from && out[n-1].Factor == factor {
+			out[n-1].To = to
+			continue
+		}
+		out = append(out, span{From: from, To: to, Factor: factor})
+	}
+	return out
+}
+
+// DownAt reports whether server sid is down at time t (binary search;
+// used off the hot path and in tests as the reference for Sweep).
+func (tl *Timeline) DownAt(sid gpu.ServerID, t simclock.Time) bool {
+	return lookup(tl.spansDown(sid), t) != nil
+}
+
+// FactorAt returns the degradation factor of server sid at time t
+// (1 when healthy).
+func (tl *Timeline) FactorAt(sid gpu.ServerID, t simclock.Time) float64 {
+	if sp := lookup(tl.spansSlow(sid), t); sp != nil {
+		return sp.Factor
+	}
+	return 1
+}
+
+func (tl *Timeline) spansDown(sid gpu.ServerID) []span {
+	if int(sid) < 0 || int(sid) >= len(tl.down) {
+		return nil
+	}
+	return tl.down[sid]
+}
+
+func (tl *Timeline) spansSlow(sid gpu.ServerID) []span {
+	if int(sid) < 0 || int(sid) >= len(tl.slow) {
+		return nil
+	}
+	return tl.slow[sid]
+}
+
+func lookup(spans []span, t simclock.Time) *span {
+	i := sort.Search(len(spans), func(i int) bool { return spans[i].To > t })
+	if i < len(spans) && spans[i].From <= t {
+		return &spans[i]
+	}
+	return nil
+}
+
+// Sweep is a monotone cursor over a Timeline. The engine samples server
+// state once per round boundary with strictly increasing timestamps, so
+// each per-server cursor only ever moves forward: a full-horizon run
+// costs O(spans) total instead of O(rounds × schedule) for the old
+// rescan. Sampling at round boundaries keeps the semantics of the
+// previous implementation: an outage strictly inside a quantum
+// (starting and ending between two samples) is invisible.
+type Sweep struct {
+	tl       *Timeline
+	downIdx  []int
+	slowIdx  []int
+	isDown   []bool
+	factor   []float64
+	lastTime simclock.Time
+	started  bool
+}
+
+// NewSweep creates a cursor positioned before time zero.
+func NewSweep(tl *Timeline) *Sweep {
+	n := len(tl.down)
+	sw := &Sweep{
+		tl:      tl,
+		downIdx: make([]int, n),
+		slowIdx: make([]int, n),
+		isDown:  make([]bool, n),
+		factor:  make([]float64, n),
+	}
+	for i := range sw.factor {
+		sw.factor[i] = 1
+	}
+	return sw
+}
+
+// Transition describes one server changing state between two samples.
+type Transition struct {
+	Server gpu.ServerID
+	Down   bool    // new down state (down / recovered)
+	Slow   bool    // true when this is a degradation transition
+	Factor float64 // new factor (1 = healthy) when Slow
+}
+
+// Advance moves the cursor to time t (must be ≥ the previous sample)
+// and returns the state transitions since the last sample, in server-ID
+// order with down transitions before degradation transitions per
+// server. The first call reports every server that is already down or
+// degraded at t.
+func (sw *Sweep) Advance(t simclock.Time) []Transition {
+	if sw.started && t < sw.lastTime {
+		panic("faults: Sweep.Advance called with decreasing time")
+	}
+	sw.started = true
+	sw.lastTime = t
+	var out []Transition
+	for s := range sw.isDown {
+		down := sw.seekDown(s, t)
+		if down != sw.isDown[s] {
+			sw.isDown[s] = down
+			out = append(out, Transition{Server: gpu.ServerID(s), Down: down})
+		}
+		f := sw.seekSlow(s, t)
+		if f != sw.factor[s] {
+			sw.factor[s] = f
+			out = append(out, Transition{Server: gpu.ServerID(s), Slow: true, Factor: f})
+		}
+	}
+	return out
+}
+
+func (sw *Sweep) seekDown(s int, t simclock.Time) bool {
+	spans := sw.tl.down[s]
+	for sw.downIdx[s] < len(spans) && spans[sw.downIdx[s]].To <= t {
+		sw.downIdx[s]++
+	}
+	i := sw.downIdx[s]
+	return i < len(spans) && spans[i].From <= t
+}
+
+func (sw *Sweep) seekSlow(s int, t simclock.Time) float64 {
+	spans := sw.tl.slow[s]
+	for sw.slowIdx[s] < len(spans) && spans[sw.slowIdx[s]].To <= t {
+		sw.slowIdx[s]++
+	}
+	i := sw.slowIdx[s]
+	if i < len(spans) && spans[i].From <= t {
+		return spans[i].Factor
+	}
+	return 1
+}
+
+// Down reports the sampled down state of server sid at the last
+// Advance time.
+func (sw *Sweep) Down(sid gpu.ServerID) bool {
+	if int(sid) < 0 || int(sid) >= len(sw.isDown) {
+		return false
+	}
+	return sw.isDown[sid]
+}
+
+// Factor reports the sampled degradation factor of server sid at the
+// last Advance time (1 = healthy).
+func (sw *Sweep) Factor(sid gpu.ServerID) float64 {
+	if int(sid) < 0 || int(sid) >= len(sw.factor) {
+		return 1
+	}
+	return sw.factor[sid]
+}

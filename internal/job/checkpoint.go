@@ -24,6 +24,8 @@ type Checkpoint struct {
 	LastRan      bool
 	FirstRun     simclock.Time
 	EverRan      bool
+	CkptMB       float64
+	Crashes      int
 }
 
 // Checkpoint captures the job's current state.
@@ -40,6 +42,8 @@ func (j *Job) Checkpoint() Checkpoint {
 		LastRan:      j.lastRan,
 		FirstRun:     j.firstRun,
 		EverRan:      j.everRan,
+		CkptMB:       j.ckptMB,
+		Crashes:      j.crashes,
 	}
 }
 
@@ -70,6 +74,13 @@ func FromCheckpoint(cp Checkpoint) (*Job, error) {
 	if cp.OverheadSecs < 0 || cp.Migrations < 0 || cp.Preemptions < 0 {
 		return nil, fmt.Errorf("job %d: checkpoint with negative accounting", cp.Spec.ID)
 	}
+	if cp.CkptMB < 0 || cp.CkptMB > cp.DoneMB+1e-6 {
+		return nil, fmt.Errorf("job %d: checkpoint progress %v outside [0, %v]",
+			cp.Spec.ID, cp.CkptMB, cp.DoneMB)
+	}
+	if cp.Crashes < 0 {
+		return nil, fmt.Errorf("job %d: checkpoint with negative crash count", cp.Spec.ID)
+	}
 	return &Job{
 		Spec:       cp.Spec,
 		state:      cp.State,
@@ -82,5 +93,7 @@ func FromCheckpoint(cp Checkpoint) (*Job, error) {
 		lastRan:    cp.LastRan,
 		firstRun:   cp.FirstRun,
 		everRan:    cp.EverRan,
+		ckptMB:     cp.CkptMB,
+		crashes:    cp.Crashes,
 	}, nil
 }

@@ -177,6 +177,11 @@ type Job struct {
 	lastRan    bool // ran in previous quantum (for resume-overhead modeling)
 	firstRun   simclock.Time
 	everRan    bool
+
+	// Fault-model state: progress as of the last durable checkpoint
+	// and how many times the job has crashed (see Crash).
+	ckptMB  float64
+	crashes int
 }
 
 // New constructs a runtime job from a validated spec.
@@ -320,6 +325,34 @@ func (j *Job) AddOverhead(d simclock.Duration) {
 
 // NoteMigration counts one migration of this job.
 func (j *Job) NoteMigration() { j.migrations++ }
+
+// NoteCheckpoint records a durable checkpoint at the current progress.
+// The core calls it on suspend, on migration, and on the periodic
+// checkpoint interval; a later Crash rolls progress back to this point.
+func (j *Job) NoteCheckpoint() { j.ckptMB = j.doneMB }
+
+// CheckpointedMB returns progress as of the last durable checkpoint.
+func (j *Job) CheckpointedMB() float64 { return j.ckptMB }
+
+// Crash models a job crash: progress rolls back to the last durable
+// checkpoint, the job drops to Runnable, and its next quantum pays
+// resume overhead (restart from checkpoint). It returns the minibatches
+// of useful work lost. Crashing a Done job panics — a finished job has
+// durably written its result.
+func (j *Job) Crash() (lostMB float64) {
+	if j.state == Done {
+		panic(fmt.Sprintf("job %d: Crash on done job", j.ID))
+	}
+	lostMB = j.doneMB - j.ckptMB
+	j.doneMB = j.ckptMB
+	j.state = Runnable
+	j.lastRan = false
+	j.crashes++
+	return lostMB
+}
+
+// Crashes returns how many times the job has crashed.
+func (j *Job) Crashes() int { return j.crashes }
 
 // DoneMB returns minibatches completed so far.
 func (j *Job) DoneMB() float64 { return j.doneMB }

@@ -130,6 +130,10 @@ type Observer struct {
 	shareUsage     *GaugeVec
 	shareFair      *GaugeVec
 	protoEvents    *CounterVec
+	faultEvents    *CounterVec
+	quarServers    *Gauge
+	compDeficit    *GaugeVec
+	compRepaid     *Counter
 
 	mu          sync.Mutex
 	curRound    int
@@ -191,6 +195,14 @@ func NewSized(ringSize int) *Observer {
 		"User's fraction under the water-filled fair reference.", "user")
 	o.protoEvents = reg.Counter("gf_protocol_events_total",
 		"Distributed-protocol events by type.", "event")
+	o.faultEvents = reg.Counter("gf_faults_injected_total",
+		"Injected fault events by kind (server-down, job-crash, migration-fail, quarantine, degrade).", "kind")
+	o.quarServers = reg.Gauge("gf_servers_quarantined",
+		"Servers currently excluded by the quarantine circuit breaker.").With()
+	o.compDeficit = reg.Gauge("gf_user_comp_deficit_seconds",
+		"Outstanding failure-compensation debt per user, in occupied GPU-seconds.", "user")
+	o.compRepaid = reg.Counter("gf_comp_repaid_gpu_seconds_total",
+		"Cumulative failure-compensation repaid, in occupied GPU-seconds.").With()
 	return o
 }
 
@@ -380,6 +392,38 @@ func (o *Observer) NoteProtocol(event string) {
 		return
 	}
 	o.protoEvents.With(event).Inc()
+}
+
+// NoteFault counts one injected fault event of the given kind.
+func (o *Observer) NoteFault(kind string) {
+	if o == nil {
+		return
+	}
+	o.faultEvents.With(kind).Inc()
+}
+
+// SetQuarantined publishes the current quarantined-server count.
+func (o *Observer) SetQuarantined(n int) {
+	if o == nil {
+		return
+	}
+	o.quarServers.Set(float64(n))
+}
+
+// SetCompDeficit publishes one user's outstanding compensation debt.
+func (o *Observer) SetCompDeficit(user string, secs float64) {
+	if o == nil {
+		return
+	}
+	o.compDeficit.With(user).Set(secs)
+}
+
+// NoteRepaid accumulates repaid compensation GPU-seconds.
+func (o *Observer) NoteRepaid(secs float64) {
+	if o == nil || secs <= 0 {
+		return
+	}
+	o.compRepaid.Add(secs)
 }
 
 // PhaseTotals returns cumulative seconds per phase (phases never

@@ -50,6 +50,12 @@ type Options struct {
 	// round. A job whose previous devices are down is treated like
 	// any displaced job: migrated if allowed, stranded otherwise.
 	Down map[gpu.ServerID]bool
+
+	// Pinned marks jobs that may not migrate this round even when
+	// AllowMigration is set (migration-failure backoff): they either
+	// keep their exact previous devices (phase-1 stability) or go
+	// unplaced.
+	Pinned map[job.ID]bool
 }
 
 // Result reports the round's placement.
@@ -100,7 +106,7 @@ func Place(c *gpu.Cluster, prev Assignment, reqs []Request, opt Options) Result 
 	// Phase 2 — place the rest.
 	for _, r := range pending {
 		_, ranBefore := prev[r.Job.ID]
-		if ranBefore && !opt.AllowMigration {
+		if ranBefore && (!opt.AllowMigration || opt.Pinned[r.Job.ID]) {
 			// Previous devices unusable (wrong generation, wrong
 			// count, or taken) and we may not move the job.
 			res.Unplaced = append(res.Unplaced, r.Job.ID)

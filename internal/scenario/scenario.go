@@ -13,6 +13,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/fairshare"
+	"repro/internal/faults"
 	"repro/internal/gpu"
 	"repro/internal/job"
 	"repro/internal/simclock"
@@ -55,6 +56,18 @@ type Scenario struct {
 
 	Failures      []FailureSpec      `json:"failures,omitempty"`
 	TicketChanges []TicketChangeSpec `json:"ticket_changes,omitempty"`
+
+	// Faults, when present, turns on the probabilistic fault model
+	// (seeded from Seed): transient server crashes, flaky servers,
+	// GPU degradation, job crash-restart, migration failures and
+	// flaky-server quarantine. Declared Failures above still apply
+	// and merge into the same timeline.
+	Faults *FaultModelSpec `json:"faults,omitempty"`
+
+	// DisableCompensation turns off fairness-preserving failure
+	// compensation (gandiva-fair only) — the ablation where GPU time
+	// lost to faults is never repaid.
+	DisableCompensation bool `json:"disable_compensation,omitempty"`
 }
 
 // ClusterSpec is one group of identical servers.
@@ -84,6 +97,61 @@ type GangSpec struct {
 type OrgSpec struct {
 	Tickets float64            `json:"tickets"`
 	Members map[string]float64 `json:"members"` // user → weight
+}
+
+// FaultModelSpec is the JSON form of faults.Config — the knobs of
+// the seeded probabilistic fault model. Zero-valued rate knobs leave
+// that fault class disabled; zero-valued shape knobs take the
+// documented defaults (see internal/faults).
+type FaultModelSpec struct {
+	ServerMTBFHours       float64 `json:"server_mtbf_hours,omitempty"`
+	ServerOutageMeanHours float64 `json:"server_outage_mean_hours,omitempty"`
+
+	FlakyServers       int     `json:"flaky_servers,omitempty"`
+	FlakyMTBFHours     float64 `json:"flaky_mtbf_hours,omitempty"`
+	FlakyOutageMinutes float64 `json:"flaky_outage_minutes,omitempty"`
+
+	DegradeMTBFHours float64 `json:"degrade_mtbf_hours,omitempty"`
+	DegradeFactor    float64 `json:"degrade_factor,omitempty"`
+	DegradeMeanHours float64 `json:"degrade_mean_hours,omitempty"`
+
+	JobCrashMTBFHours float64 `json:"job_crash_mtbf_hours,omitempty"`
+	CheckpointSecs    float64 `json:"checkpoint_secs,omitempty"`
+
+	MigrationFailProb         float64 `json:"migration_fail_prob,omitempty"`
+	MigrationBackoffRounds    int     `json:"migration_backoff_rounds,omitempty"`
+	MigrationBackoffCapRounds int     `json:"migration_backoff_cap_rounds,omitempty"`
+
+	QuarantineFailures     int     `json:"quarantine_failures,omitempty"`
+	QuarantineWindowHours  float64 `json:"quarantine_window_hours,omitempty"`
+	QuarantineCooloffHours float64 `json:"quarantine_cooloff_hours,omitempty"`
+
+	MinOutageSecs float64 `json:"min_outage_secs,omitempty"`
+}
+
+func (f *FaultModelSpec) toConfig() *faults.Config {
+	if f == nil {
+		return nil
+	}
+	return &faults.Config{
+		ServerMTBFHours:           f.ServerMTBFHours,
+		ServerOutageMeanHours:     f.ServerOutageMeanHours,
+		FlakyServers:              f.FlakyServers,
+		FlakyMTBFHours:            f.FlakyMTBFHours,
+		FlakyOutageMinutes:        f.FlakyOutageMinutes,
+		DegradeMTBFHours:          f.DegradeMTBFHours,
+		DegradeFactor:             f.DegradeFactor,
+		DegradeMeanHours:          f.DegradeMeanHours,
+		JobCrashMTBFHours:         f.JobCrashMTBFHours,
+		CheckpointSecs:            f.CheckpointSecs,
+		MigrationFailProb:         f.MigrationFailProb,
+		MigrationBackoffRounds:    f.MigrationBackoffRounds,
+		MigrationBackoffCapRounds: f.MigrationBackoffCapRounds,
+		QuarantineFailures:        f.QuarantineFailures,
+		QuarantineWindowHours:     f.QuarantineWindowHours,
+		QuarantineCooloffHours:    f.QuarantineCooloffHours,
+		MinOutageSecs:             f.MinOutageSecs,
+	}
 }
 
 // FailureSpec schedules a server outage.
@@ -136,6 +204,7 @@ func (s *Scenario) Build() (core.Config, core.Policy, simclock.Time, error) {
 		Quantum:          s.QuantumSecs,
 		Seed:             s.Seed,
 		DisableMigration: s.DisableMigration,
+		Faults:           s.Faults.toConfig(),
 	}
 	if len(s.Tickets) > 0 {
 		cfg.Tickets = make(map[job.UserID]float64, len(s.Tickets))
@@ -207,7 +276,10 @@ func (s *Scenario) buildWorkload(zoo *workload.Zoo) ([]job.Spec, error) {
 func (s *Scenario) buildPolicy() (core.Policy, error) {
 	switch s.Policy {
 	case "", "gandiva-fair":
-		fc := core.FairConfig{EnableTrading: s.Trading}
+		fc := core.FairConfig{
+			EnableTrading:       s.Trading,
+			DisableCompensation: s.DisableCompensation,
+		}
 		switch s.PricePolicy {
 		case "", "geometric":
 			fc.Trade.Policy = trade.Geometric

@@ -169,3 +169,72 @@ func TestGenParseInScenario(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFaultModelScenario(t *testing.T) {
+	const src = `{
+	  "users": [{"name": "u", "jobs": 4, "models": ["vae"], "mean_k80_hours": 2}],
+	  "horizon_hours": 12,
+	  "seed": 3,
+	  "disable_compensation": true,
+	  "failures": [{"server": 0, "at_hours": 1, "duration_hours": 0.5}],
+	  "faults": {
+	    "server_mtbf_hours": 8,
+	    "flaky_servers": 1,
+	    "migration_fail_prob": 0.25,
+	    "job_crash_mtbf_hours": 6,
+	    "quarantine_failures": 3,
+	    "quarantine_window_hours": 2,
+	    "quarantine_cooloff_hours": 4
+	  }
+	}`
+	s, err := Load(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, _, _, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := cfg.Faults
+	if f == nil {
+		t.Fatal("faults block did not reach core.Config")
+	}
+	if f.ServerMTBFHours != 8 || f.FlakyServers != 1 || f.MigrationFailProb != 0.25 ||
+		f.JobCrashMTBFHours != 6 || f.QuarantineFailures != 3 {
+		t.Errorf("fault knobs mistranslated: %+v", f)
+	}
+	// Declared failures coexist with the probabilistic model.
+	if len(cfg.Failures) != 1 {
+		t.Errorf("declared failures dropped: %+v", cfg.Failures)
+	}
+
+	// Omitting the faults block must leave the legacy path (nil
+	// Faults — byte-identical engine behavior).
+	s2, err := Load(strings.NewReader(`{
+	  "users": [{"name": "u", "jobs": 2, "models": ["vae"]}],
+	  "horizon_hours": 4
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2, _, _, err := s2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg2.Faults != nil {
+		t.Errorf("faults non-nil without a faults block: %+v", cfg2.Faults)
+	}
+
+	// An invalid fault knob must fail Build via Config.Validate.
+	s3, err := Load(strings.NewReader(`{
+	  "users": [{"name": "u", "jobs": 2, "models": ["vae"]}],
+	  "horizon_hours": 4,
+	  "faults": {"migration_fail_prob": 1.5}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := s3.Build(); err == nil {
+		t.Error("migration_fail_prob=1.5 accepted")
+	}
+}

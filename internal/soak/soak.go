@@ -1,0 +1,297 @@
+// Package soak runs long randomized fault schedules through the full
+// Gandiva_fair engine under the strict invariant auditor and verifies
+// the robustness contract end to end: no job is ever lost, nothing is
+// placed on a down or quarantined server, fairness stays inside a
+// band despite injected failures, failure-compensation books balance,
+// and every run is byte-identically reproducible from its seed.
+//
+// Each soak iteration derives an independent seed, builds a contended
+// heterogeneous workload plus a full probabilistic fault
+// configuration (transient crashes, a flaky server, GPU degradation,
+// job crash-restart, migration failures, quarantine), runs the
+// simulation TWICE, and compares canonical digests of the two runs —
+// the determinism check is not a separate mode but part of every
+// iteration.
+package soak
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/gpu"
+	"repro/internal/job"
+	"repro/internal/simclock"
+	"repro/internal/workload"
+)
+
+// Config parameterizes a soak run.
+type Config struct {
+	// Seed is the base seed; iteration i runs with
+	// Seed + i*seedStride so iterations are independent streams.
+	Seed int64
+
+	// Iters is the number of fault schedules to soak (default 5).
+	Iters int
+
+	// Hours is the simulated horizon per iteration (default 24).
+	Hours float64
+
+	// ShareBand is the maximum tolerated MaxShareError per iteration
+	// (default 0.08). The fairness reference already accounts for
+	// capacity lost to failures, so injected faults must not push
+	// observed shares outside this band when compensation works.
+	ShareBand float64
+
+	// Servers and GPUsPerSrv size the homogeneous K80 test cluster
+	// (defaults 3 and 4). Small on purpose: a 3-server cluster makes
+	// every outage and quarantine a large capacity event, which is
+	// the hard case for the fairness band.
+	Servers    int
+	GPUsPerSrv int
+
+	// Logf, when non-nil, receives one progress line per iteration.
+	Logf func(format string, args ...any)
+}
+
+const seedStride = 1000003 // prime stride keeps iteration seeds uncorrelated
+
+func (c Config) withDefaults() Config {
+	if c.Iters <= 0 {
+		c.Iters = 5
+	}
+	if c.Hours <= 0 {
+		c.Hours = 24
+	}
+	if c.ShareBand <= 0 {
+		c.ShareBand = 0.08
+	}
+	if c.Servers <= 0 {
+		c.Servers = 3
+	}
+	if c.GPUsPerSrv <= 0 {
+		c.GPUsPerSrv = 4
+	}
+	return c
+}
+
+// IterResult records one soak iteration's outcome.
+type IterResult struct {
+	Iter int
+	Seed int64
+
+	Digest     string // canonical run digest (hex)
+	ShareError float64
+	Rounds     int
+
+	Crashes           int
+	MigrationFailures int
+	Quarantines       int
+	RepaidGPUSeconds  float64
+
+	// Violations lists every contract breach this iteration; empty
+	// means the iteration passed.
+	Violations []string
+}
+
+// Report aggregates a soak run.
+type Report struct {
+	Iters []IterResult
+}
+
+// Violations counts contract breaches across all iterations.
+func (r *Report) Violations() int {
+	n := 0
+	for _, it := range r.Iters {
+		n += len(it.Violations)
+	}
+	return n
+}
+
+// Clean reports whether every iteration passed every check.
+func (r *Report) Clean() bool { return r.Violations() == 0 }
+
+// RunSoak executes the soak and returns the per-iteration report.
+// Only setup errors (bad config) are returned as error; contract
+// breaches are recorded per iteration so one bad schedule does not
+// hide the rest.
+func RunSoak(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	rep := &Report{}
+	for i := 0; i < cfg.Iters; i++ {
+		it, err := cfg.iteration(i)
+		if err != nil {
+			return nil, err
+		}
+		rep.Iters = append(rep.Iters, it)
+		if cfg.Logf != nil {
+			status := "ok"
+			if len(it.Violations) > 0 {
+				status = "FAIL " + strings.Join(it.Violations, "; ")
+			}
+			cfg.Logf("iter %d seed=%d rounds=%d crashes=%d migfail=%d quarantines=%d repaid=%.0f shareErr=%.3f digest=%s %s",
+				it.Iter, it.Seed, it.Rounds, it.Crashes, it.MigrationFailures,
+				it.Quarantines, it.RepaidGPUSeconds, it.ShareError, it.Digest[:12], status)
+		}
+	}
+	return rep, nil
+}
+
+func (c Config) iteration(i int) (IterResult, error) {
+	seed := c.Seed + int64(i)*seedStride
+	it := IterResult{Iter: i, Seed: seed}
+
+	res, err := c.runOnce(seed)
+	if err != nil {
+		return it, fmt.Errorf("soak iter %d (seed %d): %w", i, seed, err)
+	}
+	it.Digest = digest(res)
+	it.ShareError = res.MaxShareError()
+	it.Rounds = res.Rounds
+	it.Crashes = res.Crashes
+	it.MigrationFailures = res.MigrationFailures
+	it.Quarantines = res.Quarantines
+	it.RepaidGPUSeconds = res.CompRepaidGPUSeconds
+
+	// Contract 1: the strict auditor saw nothing — no placement on a
+	// down or quarantined server, no capacity overshoot, balanced
+	// compensation books, monotone deficit drain.
+	if res.Audit == nil || !res.Audit.Clean() {
+		it.Violations = append(it.Violations, "audit: "+res.Audit.Summary())
+	}
+
+	// Contract 2: no job lost. Every submitted job is either finished
+	// or still alive at the horizon — crashes, outages and failed
+	// migrations may delay jobs but never drop one.
+	total := len(c.specs(seed))
+	if got := len(res.Finished) + res.Unfinished; got != total {
+		it.Violations = append(it.Violations,
+			fmt.Sprintf("lost jobs: %d finished + %d unfinished != %d submitted",
+				len(res.Finished), res.Unfinished, total))
+	}
+
+	// Contract 3: fairness stays in band despite the fault barrage.
+	if it.ShareError > c.ShareBand {
+		it.Violations = append(it.Violations,
+			fmt.Sprintf("share error %.3f exceeds band %.3f", it.ShareError, c.ShareBand))
+	}
+
+	// Contract 4: compensation books are sane at the horizon —
+	// repayment never negative and no deficit below zero.
+	if res.CompRepaidGPUSeconds < 0 {
+		it.Violations = append(it.Violations,
+			fmt.Sprintf("negative total repayment %.1f", res.CompRepaidGPUSeconds))
+	}
+	debtors := make([]job.UserID, 0, len(res.CompDeficitByUser))
+	for u := range res.CompDeficitByUser {
+		debtors = append(debtors, u)
+	}
+	sort.Slice(debtors, func(i, j int) bool { return debtors[i] < debtors[j] })
+	for _, u := range debtors {
+		if d := res.CompDeficitByUser[u]; d < 0 {
+			it.Violations = append(it.Violations,
+				fmt.Sprintf("user %s negative deficit %.1f", u, d))
+		}
+	}
+
+	// Contract 5: byte-identical rerun. Same seed, fresh Sim — the
+	// canonical digest must match exactly.
+	res2, err := c.runOnce(seed)
+	if err != nil {
+		return it, fmt.Errorf("soak iter %d rerun (seed %d): %w", i, seed, err)
+	}
+	if d2 := digest(res2); d2 != it.Digest {
+		it.Violations = append(it.Violations,
+			fmt.Sprintf("nondeterministic: digest %s != rerun %s", it.Digest[:12], d2[:12]))
+	}
+	return it, nil
+}
+
+// specs builds the iteration workload: three users with contending
+// long-running gang-1 jobs (two model families with different
+// heterogeneous speedups) plus one user of short finite jobs that
+// retire during the run, exercising departure-time deficit
+// forgiveness. Specs are rebuilt per call — the engine mutates jobs
+// in place, so the two determinism runs must not share them.
+func (c Config) specs(seed int64) []job.Spec {
+	zoo := workload.DefaultZoo()
+	const long = 1e6 // effectively unbounded standalone K80-hours
+	var specs []job.Spec
+	specs = append(specs, workload.BatchJobs("alice", zoo.MustGet("lstm"), 6, 1, long)...)
+	specs = append(specs, workload.BatchJobs("bob", zoo.MustGet("gru"), 6, 1, long)...)
+	specs = append(specs, workload.BatchJobs("carol", zoo.MustGet("vae"), 4, 1, float64(2+seed%3))...)
+	specs, _ = workload.AssignIDs(specs)
+	return specs
+}
+
+// runOnce executes one full simulation for the derived seed under
+// AuditStrict and the complete probabilistic fault stack.
+func (c Config) runOnce(seed int64) (*core.Result, error) {
+	cl, err := gpu.New(gpu.Spec{Gen: gpu.K80, Servers: c.Servers, GPUsPerSrv: c.GPUsPerSrv})
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{
+		Cluster: cl,
+		Specs:   c.specs(seed),
+		Seed:    seed,
+		Audit:   core.AuditStrict,
+		Faults: &faults.Config{
+			ServerMTBFHours:        10,
+			ServerOutageMeanHours:  0.5,
+			FlakyServers:           1,
+			FlakyMTBFHours:         2,
+			FlakyOutageMinutes:     10,
+			DegradeMTBFHours:       12,
+			DegradeFactor:          0.6,
+			DegradeMeanHours:       1,
+			JobCrashMTBFHours:      8,
+			MigrationFailProb:      0.3,
+			QuarantineFailures:     3,
+			QuarantineWindowHours:  2,
+			QuarantineCooloffHours: 2,
+		},
+	}
+	sim, err := core.New(cfg, core.MustNewFairPolicy(core.FairConfig{}))
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(simclock.Time(c.Hours * simclock.Hour))
+}
+
+// digest renders the run outcome in a canonical text form (sorted
+// users, fixed float formatting) and hashes it. Two runs of the same
+// seed must produce identical digests — this is the soak's
+// reproducibility contract.
+func digest(res *core.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rounds=%d events=%d finished=%d unfinished=%d migrations=%d\n",
+		res.Rounds, res.Log.Len(), len(res.Finished), res.Unfinished, res.Migrations)
+	fmt.Fprintf(&b, "crashes=%d migfail=%d quarantines=%d repaid=%.6f\n",
+		res.Crashes, res.MigrationFailures, res.Quarantines, res.CompRepaidGPUSeconds)
+
+	users := make(map[job.UserID]bool)
+	occ := res.TotalUsageByUser()
+	for u := range occ {
+		users[u] = true
+	}
+	for u := range res.FairUsageByUser {
+		users[u] = true
+	}
+	for u := range res.CompDeficitByUser {
+		users[u] = true
+	}
+	sorted := make([]job.UserID, 0, len(users))
+	for u := range users {
+		sorted = append(sorted, u)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, u := range sorted {
+		fmt.Fprintf(&b, "user=%s occ=%.6f fair=%.6f useful=%.6f deficit=%.6f\n",
+			u, occ[u], res.FairUsageByUser[u], res.UsefulByUser[u], res.CompDeficitByUser[u])
+	}
+	return fmt.Sprintf("%x", sha256.Sum256([]byte(b.String())))
+}

@@ -1,0 +1,71 @@
+package soak
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSoakShortClean runs a short seeded soak end to end: every
+// iteration must satisfy the full robustness contract (audit clean,
+// no job lost, fairness in band, balanced books, deterministic
+// rerun).
+func TestSoakShortClean(t *testing.T) {
+	rep, err := RunSoak(Config{Seed: 42, Iters: 2, Hours: 6, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		for _, it := range rep.Iters {
+			for _, v := range it.Violations {
+				t.Errorf("iter %d (seed %d): %s", it.Iter, it.Seed, v)
+			}
+		}
+	}
+	if len(rep.Iters) != 2 {
+		t.Fatalf("got %d iterations, want 2", len(rep.Iters))
+	}
+	// A soak that injects nothing proves nothing: the fault stack
+	// must actually fire.
+	faults := 0
+	for _, it := range rep.Iters {
+		faults += it.Crashes + it.MigrationFailures + it.Quarantines
+	}
+	if faults == 0 {
+		t.Error("soak injected no faults — schedule generation broken")
+	}
+}
+
+// TestSoakDigestsDifferAcrossSeeds guards the digest against being a
+// constant: distinct seeds must produce distinct outcomes.
+func TestSoakDigestsDifferAcrossSeeds(t *testing.T) {
+	rep, err := RunSoak(Config{Seed: 7, Iters: 2, Hours: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Iters[0].Digest == rep.Iters[1].Digest {
+		t.Fatalf("iterations with different seeds produced identical digest %s",
+			rep.Iters[0].Digest)
+	}
+}
+
+// TestSoakDetectsShareBandBreach checks the harness actually fails
+// when the contract is violated — an absurdly tight band must trip.
+func TestSoakDetectsShareBandBreach(t *testing.T) {
+	rep, err := RunSoak(Config{Seed: 42, Iters: 1, Hours: 4, ShareBand: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Fatal("1e-9 share band not tripped — violation detection broken")
+	}
+	found := false
+	for _, v := range rep.Iters[0].Violations {
+		if strings.Contains(v, "share error") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("band breach not reported as share-error violation: %v",
+			rep.Iters[0].Violations)
+	}
+}

@@ -27,6 +27,14 @@ const (
 	KindRound     Kind = "round"
 	KindFailure   Kind = "failure"
 	KindRecovery  Kind = "recovery"
+
+	// Fault-model events (see internal/faults).
+	KindJobCrash     Kind = "jobcrash"     // job crashed, rolled back to checkpoint
+	KindMigFail      Kind = "migfail"      // migration attempt failed; job stays put
+	KindQuarantine   Kind = "quarantine"   // circuit breaker excluded a server
+	KindUnquarantine Kind = "unquarantine" // quarantine cool-off expired
+	KindDegrade      Kind = "degrade"      // server entered degraded (slowed) state
+	KindDegradeEnd   Kind = "degrade-end"  // server back to full speed
 )
 
 // Event is one timestamped record.

@@ -87,6 +87,8 @@ func TestEventKindsComplete(t *testing.T) {
 	kinds := []Kind{
 		KindArrival, KindStart, KindFinish, KindMigration,
 		KindTrade, KindRound, KindFailure, KindRecovery,
+		KindJobCrash, KindMigFail, KindQuarantine, KindUnquarantine,
+		KindDegrade, KindDegradeEnd,
 	}
 	l := &Log{}
 	for i, k := range kinds {
@@ -146,6 +148,8 @@ func TestExportRoundTripsEveryKind(t *testing.T) {
 	kinds := []Kind{
 		KindArrival, KindStart, KindFinish, KindMigration,
 		KindTrade, KindRound, KindFailure, KindRecovery,
+		KindJobCrash, KindMigFail, KindQuarantine, KindUnquarantine,
+		KindDegrade, KindDegradeEnd,
 	}
 	l := &Log{}
 	for i, k := range kinds {
