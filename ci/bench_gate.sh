@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Benchmark-ledger gate: re-measure the round loop at 1k/10k/100k
+# GPUs and compare against the committed BENCH_core.json. Fails (exit
+# 1) when allocs/round regress beyond the tolerance or the spans-on
+# overhead ratio exceeds the committed ratio plus the tolerance; raw
+# ns/round is informational only (machine-dependent). Regenerate the
+# ledger after an intentional change with:
+#
+#   go run ./cmd/gfbench -ledger -update
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go run ./cmd/gfbench -ledger -check -tol "${BENCH_TOL:-0.15}"

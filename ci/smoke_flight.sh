@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Flight-recorder smoke test: force an audit violation with gfsim's
+# -audit-drill, assert the run fails AND leaves a parseable
+# flight.json naming the drill, then check gfflight can summarize it
+# and convert its spans to a Chrome trace with events in it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/gfsim" ./cmd/gfsim
+go build -o "$TMP/gfflight" ./cmd/gfflight
+
+# The drill injects a synthetic violation at round 3; gfsim must exit
+# nonzero and the deferred flight dump must land before the exit.
+if "$TMP/gfsim" -users 2 -jobs 4 -hours 2 \
+    -flight "$TMP/flight.json" -audit-drill 3 >/dev/null 2>"$TMP/stderr.txt"; then
+  echo "audit drill did not fail the run"; exit 1
+fi
+grep -q "audit drill" "$TMP/stderr.txt"
+echo "drill: run failed as expected"
+
+[ -s "$TMP/flight.json" ] || { echo "no flight.json written"; exit 1; }
+"$TMP/gfflight" -q "$TMP/flight.json"
+echo "flight.json: parseable"
+
+SUMMARY=$("$TMP/gfflight" "$TMP/flight.json")
+echo "$SUMMARY" | grep -q "audit-violation"
+echo "$SUMMARY" | grep -q "drill"
+echo "$SUMMARY" | grep -q "round 3"
+echo "flight.json: names the drill violation and retains rounds"
+
+"$TMP/gfflight" -q -chrome "$TMP/trace.json" "$TMP/flight.json"
+grep -q '"traceEvents"' "$TMP/trace.json"
+grep -q '"ph"' "$TMP/trace.json"
+echo "chrome trace: events present"
+
+echo "flight smoke test passed"

@@ -1,0 +1,290 @@
+package main
+
+// The benchmark ledger: a committed record of round-loop cost at
+// three cluster scales (1k / 10k / 100k GPUs), with observability off
+// and fully on (observer + span tracer + flight recorder), gated in
+// CI by ci/bench_gate.sh.
+//
+// Methodology (also in DESIGN.md §7): each scale runs the real engine
+// for a fixed number of quantum rounds, repeated ledgerReps times,
+// keeping the MINIMUM ns/round and allocs/round (minimum, not mean:
+// the floor is the code's cost, everything above it is machine
+// noise). Allocations are counted with runtime.ReadMemStats deltas
+// around Run only — construction is excluded.
+//
+// The gate deliberately does NOT compare wall-clock against the
+// committed file: ns/round is machine-dependent, so a laptop-recorded
+// baseline would gate nothing on CI hardware. What IS gated:
+//
+//   - allocs/round vs the committed ledger (+tolerance): allocation
+//     counts are hardware-independent and catch accidental O(n)
+//     regressions in the round loop;
+//   - the spans-on tax (instrumented / baseline ns per round, both
+//     measured in the SAME process, so the ratio is noise- and
+//     machine-robust) vs the committed tax + tolerance: observability
+//     getting relatively more expensive is a regression even when
+//     absolute times shift with hardware.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/job"
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
+	"repro/internal/obs/span"
+	"repro/internal/simclock"
+	"repro/internal/workload"
+)
+
+const (
+	ledgerSchema = 1
+	ledgerReps   = 5
+)
+
+// ledgerScales are the committed measurement points. Jobs grow slower
+// than GPUs on purpose: the paper's regime is cluster >> active jobs,
+// and the round loop's scaling in servers is what the 100k row
+// exercises.
+var ledgerScales = []struct {
+	gpus, users, jobsPerUser, rounds int
+}{
+	{1_000, 4, 50, 200},
+	{10_000, 4, 100, 60},
+	{100_000, 5, 100, 20},
+}
+
+// ledgerRow is one scale's measurement.
+type ledgerRow struct {
+	GPUs   int `json:"gpus"`
+	Jobs   int `json:"jobs"`
+	Rounds int `json:"rounds"`
+
+	// Base is the plain engine; Obs adds an Observer, a span tracer,
+	// and an armed flight recorder (the full -spans-out -flight
+	// configuration of gfsim).
+	BaseNsPerRound     float64 `json:"base_ns_per_round"`
+	BaseAllocsPerRound float64 `json:"base_allocs_per_round"`
+	ObsNsPerRound      float64 `json:"obs_ns_per_round"`
+	ObsAllocsPerRound  float64 `json:"obs_allocs_per_round"`
+}
+
+// overhead returns the spans-on wall-clock tax as a fraction.
+func (r ledgerRow) overhead() float64 {
+	if r.BaseNsPerRound == 0 {
+		return 0
+	}
+	return r.ObsNsPerRound/r.BaseNsPerRound - 1
+}
+
+// benchLedger is the BENCH_core.json document.
+type benchLedger struct {
+	Schema int         `json:"schema"`
+	Seed   int64       `json:"seed"`
+	Note   string      `json:"note"`
+	Rows   []ledgerRow `json:"rows"`
+}
+
+const ledgerNote = "ns_per_round is informational (machine-dependent); " +
+	"the CI gate binds allocs_per_round and the obs/base ns ratio only"
+
+// runLedger measures every scale. Progress goes to stderr so stdout
+// stays clean for the final table.
+func runLedger(seed int64) (*benchLedger, error) {
+	led := &benchLedger{Schema: ledgerSchema, Seed: seed, Note: ledgerNote}
+	for _, sc := range ledgerScales {
+		fmt.Fprintf(os.Stderr, "ledger: measuring %d GPUs (%d jobs, %d rounds, %d reps × off/on)...\n",
+			sc.gpus, sc.users*sc.jobsPerUser, sc.rounds, ledgerReps)
+		row := ledgerRow{GPUs: sc.gpus, Jobs: sc.users * sc.jobsPerUser, Rounds: sc.rounds}
+		var err error
+		row.BaseNsPerRound, row.BaseAllocsPerRound, err = measureScale(sc.gpus, sc.users, sc.jobsPerUser, sc.rounds, seed, false)
+		if err != nil {
+			return nil, err
+		}
+		row.ObsNsPerRound, row.ObsAllocsPerRound, err = measureScale(sc.gpus, sc.users, sc.jobsPerUser, sc.rounds, seed, true)
+		if err != nil {
+			return nil, err
+		}
+		led.Rows = append(led.Rows, row)
+	}
+	return led, nil
+}
+
+// measureScale runs one configuration ledgerReps times and returns
+// the minimum ns/round and allocs/round observed.
+func measureScale(gpus, users, jobsPerUser, rounds int, seed int64, instrumented bool) (nsPerRound, allocsPerRound float64, err error) {
+	if gpus%8 != 0 {
+		return 0, 0, fmt.Errorf("ledger: %d GPUs not divisible across 2 generations × 4/server", gpus)
+	}
+	servers := gpus / 8
+	cluster, err := gpu.New(
+		gpu.Spec{Gen: gpu.K80, Servers: servers, GPUsPerSrv: 4},
+		gpu.Spec{Gen: gpu.V100, Servers: servers, GPUsPerSrv: 4},
+	)
+	if err != nil {
+		return 0, 0, err
+	}
+	zoo := workload.DefaultZoo()
+	names := zoo.Names()
+	var userSpecs []workload.UserSpec
+	for i := 0; i < users; i++ {
+		userSpecs = append(userSpecs, workload.UserSpec{
+			User:    workloadUser(i),
+			NumJobs: jobsPerUser, MeanK80Hours: 1000, // long-running: every round stays fully loaded
+			Models: []string{names[i%len(names)], names[(i+3)%len(names)]},
+		})
+	}
+	horizon := simclock.Time(float64(rounds) * 360)
+
+	bestNs := 0.0
+	bestAllocs := 0.0
+	for rep := 0; rep < ledgerReps; rep++ {
+		// Fresh specs per rep: the engine mutates jobs in place.
+		specs, err := workload.Generate(zoo, workload.Config{Seed: seed, Users: userSpecs})
+		if err != nil {
+			return 0, 0, err
+		}
+		cfg := core.Config{Cluster: cluster, Specs: specs, Quantum: 360, Seed: seed}
+		if instrumented {
+			o := obs.New()
+			o.SetTracer(span.New("gfbench", 0))
+			cfg.Obs = o
+			cfg.Flight = flight.New(0, os.DevNull)
+		}
+		sim, err := core.New(cfg, core.MustNewFairPolicy(core.FairConfig{EnableTrading: true}))
+		if err != nil {
+			return 0, 0, err
+		}
+
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		res, err := sim.Run(horizon)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		if err != nil {
+			return 0, 0, err
+		}
+		if res.Rounds == 0 {
+			return 0, 0, fmt.Errorf("ledger: %d GPUs: no rounds ran", gpus)
+		}
+		ns := float64(elapsed.Nanoseconds()) / float64(res.Rounds)
+		allocs := float64(m1.Mallocs-m0.Mallocs) / float64(res.Rounds)
+		if rep == 0 || ns < bestNs {
+			bestNs = ns
+		}
+		if rep == 0 || allocs < bestAllocs {
+			bestAllocs = allocs
+		}
+	}
+	return bestNs, bestAllocs, nil
+}
+
+func workloadUser(i int) job.UserID {
+	return job.UserID(fmt.Sprintf("user%02d", i+1))
+}
+
+// renderLedger prints the ledger as an aligned table.
+func renderLedger(led *benchLedger) {
+	fmt.Printf("%-8s %-8s %-8s %14s %14s %14s %14s %9s\n",
+		"GPUs", "jobs", "rounds", "base ns/rnd", "base allocs", "obs ns/rnd", "obs allocs", "overhead")
+	for _, r := range led.Rows {
+		fmt.Printf("%-8d %-8d %-8d %14.0f %14.0f %14.0f %14.0f %8.1f%%\n",
+			r.GPUs, r.Jobs, r.Rounds,
+			r.BaseNsPerRound, r.BaseAllocsPerRound,
+			r.ObsNsPerRound, r.ObsAllocsPerRound, 100*r.overhead())
+	}
+}
+
+// checkLedger compares fresh measurements against the committed
+// ledger: allocs/round within tol of the committed value, and the
+// same-process spans-on overhead within tol. Returns the violations.
+func checkLedger(fresh, committed *benchLedger, tol float64) []string {
+	var bad []string
+	if committed.Schema != ledgerSchema {
+		bad = append(bad, fmt.Sprintf("committed ledger schema %d, tool speaks %d (re-run -ledger -update)",
+			committed.Schema, ledgerSchema))
+		return bad
+	}
+	byGPUs := map[int]ledgerRow{}
+	for _, r := range committed.Rows {
+		byGPUs[r.GPUs] = r
+	}
+	for _, f := range fresh.Rows {
+		c, ok := byGPUs[f.GPUs]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%d GPUs: no committed row (re-run -ledger -update)", f.GPUs))
+			continue
+		}
+		for _, m := range []struct {
+			name      string
+			got, want float64
+		}{
+			{"base allocs/round", f.BaseAllocsPerRound, c.BaseAllocsPerRound},
+			{"obs allocs/round", f.ObsAllocsPerRound, c.ObsAllocsPerRound},
+		} {
+			if m.want <= 0 {
+				continue
+			}
+			if ratio := m.got/m.want - 1; ratio > tol {
+				bad = append(bad, fmt.Sprintf("%d GPUs: %s %.0f is %.1f%% over committed %.0f (tol %.0f%%)",
+					f.GPUs, m.name, m.got, 100*ratio, m.want, 100*tol))
+			}
+		}
+		if ov, cov := f.overhead(), c.overhead(); ov > cov+tol {
+			bad = append(bad, fmt.Sprintf("%d GPUs: observability overhead %.1f%% exceeds committed %.1f%% + %.0f%% headroom (base %.0f ns/round, obs %.0f)",
+				f.GPUs, 100*ov, 100*cov, 100*tol, f.BaseNsPerRound, f.ObsNsPerRound))
+		}
+	}
+	return bad
+}
+
+// ledgerMain drives -ledger: measure, print, then -update (rewrite
+// the committed file) and/or -check (gate against it).
+func ledgerMain(path string, seed int64, update, check bool, tol float64) error {
+	fresh, err := runLedger(seed)
+	if err != nil {
+		return err
+	}
+	renderLedger(fresh)
+	if update {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(fresh)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "ledger written to %s\n", path)
+	}
+	if check {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("ledger: read committed %s: %w", path, err)
+		}
+		var committed benchLedger
+		if err := json.Unmarshal(b, &committed); err != nil {
+			return fmt.Errorf("ledger: parse %s: %w", path, err)
+		}
+		if bad := checkLedger(fresh, &committed, tol); len(bad) > 0 {
+			for _, v := range bad {
+				fmt.Fprintln(os.Stderr, "ledger gate:", v)
+			}
+			return fmt.Errorf("ledger: %d regression(s) against %s", len(bad), path)
+		}
+		fmt.Fprintf(os.Stderr, "ledger gate passed against %s (tol %.0f%%)\n", path, 100*tol)
+	}
+	return nil
+}

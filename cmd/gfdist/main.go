@@ -43,6 +43,8 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/job"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
+	"repro/internal/obs/span"
 	"repro/internal/workload"
 )
 
@@ -65,6 +67,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   gfdist central -listen ADDR -agents N [-users N -jobs N -hours H -no-trading] [-http ADDR]
+                 [-pprof] [-flight FILE -flight-rounds N] [-spans-out FILE]
                  [-snapshot-dir DIR -snapshot-every N] [-restore]
   gfdist agent   -connect ADDR -name NAME -gen GEN -gpus N [-rejoin N]
   gfdist chaos   [-seed N -kill-at R -restart-after R -snapshot-at R -snapshot-dir DIR
@@ -86,6 +89,11 @@ func runCentral(args []string) {
 		noTrading = fs.Bool("no-trading", false, "disable resource trading")
 		waitSecs  = fs.Int("wait", 60, "seconds to wait for agent registration")
 		httpAddr  = fs.String("http", "", "serve /metrics, /healthz, /debug/sched on this address (e.g. :9090)")
+		pprofOn   = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the -http address")
+		flightOut = fs.String("flight", "", "arm the flight recorder; dumps the last rounds to this file on SIGUSR1 or /debug/flight?save=1")
+		flightN   = fs.Int("flight-rounds", 0, "flight recorder window in rounds (0 = default 64)")
+		spansOut  = fs.String("spans-out", "", "write the final rounds' spans (central + agents) as Chrome trace_event JSON for Perfetto")
+		spansCap  = fs.Int("spans-cap", 0, "span ring capacity (0 = default 8192)")
 		snapDir   = fs.String("snapshot-dir", "", "persist scheduler state to this directory after rounds")
 		snapEvery = fs.Int("snapshot-every", 1, "snapshot every N rounds (with -snapshot-dir)")
 		restore   = fs.Bool("restore", false, "resume from the snapshot in -snapshot-dir instead of a fresh workload")
@@ -99,13 +107,32 @@ func runCentral(args []string) {
 	// operators (and the CI smoke test) can scrape from the first
 	// moment; phase histogram series exist from construction.
 	var observer *obs.Observer
-	if *httpAddr != "" {
+	var tracer *span.Tracer
+	var rec *flight.Recorder
+	if *httpAddr != "" || *spansOut != "" || *flightOut != "" {
 		observer = obs.New()
-		_, bound, err := obs.Serve(*httpAddr, observer)
-		if err != nil {
-			fatal(err)
+		if *spansOut != "" || *flightOut != "" {
+			tracer = span.New("central", *spansCap)
+			observer.SetTracer(tracer)
 		}
-		fmt.Fprintf(os.Stderr, "observability on http://%s (/metrics /healthz /debug/sched)\n", bound)
+		if *flightOut != "" {
+			rec = flight.New(*flightN, *flightOut)
+			observer.SetSink(rec)
+			rec.DumpOnSignal(func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			})
+		}
+		if *httpAddr != "" {
+			opt := obs.MuxOptions{PProf: *pprofOn}
+			if rec != nil {
+				opt.Flight = rec
+			}
+			_, bound, err := obs.ServeOpts(*httpAddr, observer, opt)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "observability on http://%s (/metrics /healthz /debug/sched)\n", bound)
+		}
 	}
 
 	srv, err := comm.ListenTCP("central", *listen)
@@ -188,6 +215,21 @@ func runCentral(args []string) {
 	sort.Slice(us, func(i, j int) bool { return us[i] < us[j] })
 	for _, u := range us {
 		fmt.Printf("  %-8s %8.1f GPU-hours\n", u, sum.UsageByUser[u]/3600)
+	}
+	if tracer != nil && *spansOut != "" {
+		f, err := os.Create(*spansOut)
+		if err != nil {
+			fatal(err)
+		}
+		err = tracer.WriteChromeTrace(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "spans (%d retained, %d dropped) written to %s\n",
+			len(tracer.Spans()), tracer.Dropped(), *spansOut)
 	}
 }
 

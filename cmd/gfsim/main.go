@@ -24,6 +24,8 @@ import (
 	"repro/internal/job"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
+	"repro/internal/obs/span"
 	"repro/internal/scenario"
 	"repro/internal/simclock"
 	"repro/internal/workload"
@@ -47,15 +49,30 @@ func main() {
 		jobsIn     = flag.String("jobs-in", "", "load the job trace from this CSV (as written by gftrace) instead of generating one")
 		scenarioIn = flag.String("scenario", "", "load the ENTIRE scenario (cluster, users, policy, failures) from this JSON file; other flags are ignored")
 		httpAddr   = flag.String("http", "", "serve /metrics, /healthz, /debug/sched on this address while the simulation runs")
+		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the -http address")
+		flightOut  = flag.String("flight", "", "arm the flight recorder; dumps the last rounds to this file on audit violation, run error, panic, or SIGUSR1")
+		flightN    = flag.Int("flight-rounds", 0, "flight recorder window in rounds (0 = default 64)")
+		auditDrill = flag.Int("audit-drill", 0, "inject a synthetic audit violation at this round to exercise the flight-dump path (0 = off)")
+		spansOut   = flag.String("spans-out", "", "write the final rounds' spans as Chrome trace_event JSON (open in Perfetto / chrome://tracing)")
+		spansCap   = flag.Int("spans-cap", 0, "span ring capacity (0 = default 8192)")
 	)
 	flag.Parse()
 
 	// Observability never touches stdout: the report must stay
-	// byte-identical with and without -http (determinism guarantee).
-	observer := startObs(*httpAddr)
+	// byte-identical with and without -http/-flight/-spans-out
+	// (determinism guarantee, pinned by TestSpansAndFlightDoNotPerturb).
+	observer, tracer, rec := startObs(obsFlags{
+		addr: *httpAddr, pprof: *pprofOn,
+		flightPath: *flightOut, flightRounds: *flightN,
+		spans: *spansOut != "" || *flightOut != "", spansCap: *spansCap,
+	})
+	rec.DumpOnSignal(func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	})
 
 	if *scenarioIn != "" {
-		runScenario(*scenarioIn, *traceOut, *traceCap, observer)
+		runScenario(*scenarioIn, *traceOut, *traceCap, observer, rec, *auditDrill)
+		writeSpans(tracer, *spansOut)
 		return
 	}
 
@@ -118,6 +135,8 @@ func main() {
 		DisableMigration: *noMigrate,
 		TraceCap:         *traceCap,
 		Obs:              observer,
+		Flight:           rec,
+		AuditDrillRound:  *auditDrill,
 	}, policy)
 	if err != nil {
 		fatal(err)
@@ -135,25 +154,87 @@ func main() {
 		}
 		fmt.Printf("\nevent trace (%d events) written to %s\n", res.Log.Len(), *traceOut)
 	}
+	writeSpans(tracer, *spansOut)
 }
 
-// startObs attaches the HTTP introspection surface when requested.
-// All its output goes to stderr so stdout stays byte-identical.
-func startObs(addr string) *obs.Observer {
-	if addr == "" {
-		return nil
+// obsFlags bundles the observability command-line surface.
+type obsFlags struct {
+	addr         string
+	pprof        bool
+	flightPath   string
+	flightRounds int
+	spans        bool
+	spansCap     int
+}
+
+// startObs attaches the observability surfaces requested by flags:
+// the HTTP mux (optionally with pprof and the flight recorder), a
+// span tracer, and the flight recorder itself. All terminal output
+// goes to stderr so stdout stays byte-identical.
+func startObs(f obsFlags) (*obs.Observer, *span.Tracer, *flight.Recorder) {
+	if f.addr == "" && !f.spans && f.flightPath == "" {
+		return nil, nil, nil
 	}
 	o := obs.New()
-	_, bound, err := obs.Serve(addr, o)
+	var tracer *span.Tracer
+	if f.spans {
+		tracer = span.New("gfsim", f.spansCap)
+		o.SetTracer(tracer)
+	}
+	var rec *flight.Recorder
+	if f.flightPath != "" {
+		window := f.flightRounds
+		if window <= 0 {
+			window = flight.DefaultRounds
+		}
+		rec = flight.New(f.flightRounds, f.flightPath)
+		fmt.Fprintf(os.Stderr, "flight recorder armed (window %d rounds, dump -> %s)\n",
+			window, rec.Path())
+	}
+	if f.addr != "" {
+		opt := obs.MuxOptions{PProf: f.pprof}
+		if rec != nil {
+			opt.Flight = rec
+		}
+		_, bound, err := obs.ServeOpts(f.addr, o, opt)
+		if err != nil {
+			fatal(err)
+		}
+		surfaces := "/metrics /healthz /debug/sched"
+		if rec != nil {
+			surfaces += " /debug/flight"
+		}
+		if f.pprof {
+			surfaces += " /debug/pprof"
+		}
+		fmt.Fprintf(os.Stderr, "observability on http://%s (%s)\n", bound, surfaces)
+	}
+	return o, tracer, rec
+}
+
+// writeSpans exports the tracer's retained spans as Chrome
+// trace_event JSON for Perfetto / chrome://tracing.
+func writeSpans(tr *span.Tracer, path string) {
+	if tr == nil || path == "" {
+		return
+	}
+	f, err := os.Create(path)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "observability on http://%s (/metrics /healthz /debug/sched)\n", bound)
-	return o
+	err = tr.WriteChromeTrace(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "spans (%d retained, %d dropped) written to %s\n",
+		len(tr.Spans()), tr.Dropped(), path)
 }
 
 // runScenario executes a JSON scenario file end to end.
-func runScenario(path, traceOut string, traceCap int, observer *obs.Observer) {
+func runScenario(path, traceOut string, traceCap int, observer *obs.Observer, rec *flight.Recorder, auditDrill int) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal(err)
@@ -169,6 +250,8 @@ func runScenario(path, traceOut string, traceCap int, observer *obs.Observer) {
 	}
 	cfg.TraceCap = traceCap
 	cfg.Obs = observer
+	cfg.Flight = rec
+	cfg.AuditDrillRound = auditDrill
 	sim, err := core.New(cfg, policy)
 	if err != nil {
 		fatal(err)

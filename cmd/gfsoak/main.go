@@ -19,20 +19,27 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/obs/flight"
 	"repro/internal/soak"
 )
 
 func main() {
 	var (
-		seed    = flag.Int64("seed", 42, "base seed; each iteration derives an independent stream")
-		iters   = flag.Int("iters", 5, "number of fault schedules to soak")
-		hours   = flag.Float64("hours", 24, "simulated horizon per iteration")
-		band    = flag.Float64("band", 0.08, "maximum tolerated per-iteration share error")
-		servers = flag.Int("servers", 3, "K80 servers in the soak cluster")
-		gpus    = flag.Int("gpus", 4, "GPUs per server")
+		seed      = flag.Int64("seed", 42, "base seed; each iteration derives an independent stream")
+		iters     = flag.Int("iters", 5, "number of fault schedules to soak")
+		hours     = flag.Float64("hours", 24, "simulated horizon per iteration")
+		band      = flag.Float64("band", 0.08, "maximum tolerated per-iteration share error")
+		servers   = flag.Int("servers", 3, "K80 servers in the soak cluster")
+		gpus      = flag.Int("gpus", 4, "GPUs per server")
+		flightOut = flag.String("flight", "", "arm the flight recorder; the rounds leading into a contract breach are dumped to this file")
+		flightN   = flag.Int("flight-rounds", 0, "flight recorder window in rounds (0 = default 64)")
 	)
 	flag.Parse()
 
+	var rec *flight.Recorder
+	if *flightOut != "" {
+		rec = flight.New(*flightN, *flightOut)
+	}
 	rep, err := soak.RunSoak(soak.Config{
 		Seed:       *seed,
 		Iters:      *iters,
@@ -40,6 +47,7 @@ func main() {
 		ShareBand:  *band,
 		Servers:    *servers,
 		GPUsPerSrv: *gpus,
+		Flight:     rec,
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},

@@ -31,6 +31,7 @@ func main() {
 		auditStr = flag.String("audit", "strict", "invariant auditor mode: strict | count | off")
 		verbose  = flag.Bool("v", false, "print one line per completed run")
 		profile  = flag.Bool("profile", false, "time scheduler phases per run and add <phase> ms columns to the table")
+		csvOut   = flag.String("csv", "", "also write the summary as CSV to this file (seconds/fractions, includes rho and makespan columns)")
 	)
 	flag.Parse()
 
@@ -77,8 +78,23 @@ func main() {
 		}
 	}
 
-	if err := sweep.Summarize(results).Render(os.Stdout); err != nil {
+	summary := sweep.Summarize(results)
+	if err := summary.Render(os.Stdout); err != nil {
 		fatal(err)
+	}
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fatal(err)
+		}
+		err = summary.WriteCSV(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "summary CSV written to %s\n", *csvOut)
 	}
 	fmt.Printf("\n%d runs (%d failed) in %.2fs on %d workers, audit=%s\n",
 		len(results), failed, elapsed.Seconds(), w, *auditStr)

@@ -7,6 +7,7 @@
 //	gftrace -users 8 -jobs 50 -seed 3            # summary statistics
 //	gftrace -users 8 -jobs 50 -csv trace.csv     # dump job list
 //	gftrace -models                              # print the model zoo
+//	gftrace -events run.csv                      # summarize an event trace (gfsim -trace-out)
 package main
 
 import (
@@ -14,11 +15,13 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/internal/gpu"
 	"repro/internal/job"
 	"repro/internal/metrics"
 	"repro/internal/simclock"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -31,8 +34,17 @@ func main() {
 		seed      = flag.Int64("seed", 1, "deterministic seed")
 		csvOut    = flag.String("csv", "", "write the trace to this CSV file")
 		models    = flag.Bool("models", false, "print the model zoo and exit")
+		events    = flag.String("events", "", "summarize an EVENT trace (.csv or .json written by gfsim -trace-out) and exit")
 	)
 	flag.Parse()
+
+	if *events != "" {
+		if err := summarizeEvents(*events); err != nil {
+			fmt.Fprintln(os.Stderr, "gftrace:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	zoo := workload.DefaultZoo()
 	if *models {
@@ -113,6 +125,81 @@ func summarize(specs []job.Spec) {
 	for _, m := range names {
 		fmt.Printf("  %-13s %4d\n", m, modelCount[m])
 	}
+}
+
+// faultKinds are the fault-model event kinds surfaced in the
+// timeline section of -events summaries.
+var faultKinds = map[trace.Kind]bool{
+	trace.KindFailure: true, trace.KindRecovery: true,
+	trace.KindJobCrash: true, trace.KindMigFail: true,
+	trace.KindQuarantine: true, trace.KindUnquarantine: true,
+	trace.KindDegrade: true, trace.KindDegradeEnd: true,
+}
+
+// summarizeEvents loads an event trace written by gfsim -trace-out
+// (format picked by extension, mirroring gfsim's writer) and prints
+// per-kind counts plus a chronological fault/quarantine timeline.
+func summarizeEvents(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var events []trace.Event
+	if strings.HasSuffix(path, ".json") {
+		events, err = trace.ReadJSON(f)
+	} else {
+		events, err = trace.ReadCSV(f)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("events        : %d\n", len(events))
+	if len(events) == 0 {
+		return nil
+	}
+	fmt.Printf("span          : %.1f h .. %.1f h\n",
+		float64(events[0].At)/3600, float64(events[len(events)-1].At)/3600)
+
+	counts := map[trace.Kind]int{}
+	for _, e := range events {
+		counts[e.Kind]++
+	}
+	var kinds []string
+	for k := range counts {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	fmt.Println("kinds         :")
+	for _, k := range kinds {
+		fmt.Printf("  %-13s %6d\n", k, counts[trace.Kind(k)])
+	}
+
+	var faults []trace.Event
+	for _, e := range events {
+		if faultKinds[e.Kind] {
+			faults = append(faults, e)
+		}
+	}
+	if len(faults) == 0 {
+		return nil
+	}
+	fmt.Printf("fault timeline: %d events\n", len(faults))
+	for _, e := range faults {
+		line := fmt.Sprintf("  %9.1f h  %-13s", float64(e.At)/3600, e.Kind)
+		if e.Job != 0 {
+			line += fmt.Sprintf(" job %d", e.Job)
+		}
+		if e.User != "" {
+			line += fmt.Sprintf(" user %s", e.User)
+		}
+		if e.Detail != "" {
+			line += "  " + e.Detail
+		}
+		fmt.Println(line)
+	}
+	return nil
 }
 
 func writeTraceFile(specs []job.Spec, path string) error {

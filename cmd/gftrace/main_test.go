@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// faultLog builds a log exercising every fault-model kind plus
+// non-ASCII user and detail strings (quarantine reasons quote server
+// names, which are user-controlled).
+func faultLog() *trace.Log {
+	var l trace.Log
+	l.Add(360, trace.KindRound, 0, "", "round 1")
+	l.Add(720.5, trace.KindJobCrash, 3, "alice", "rollback to ckpt@700")
+	l.Add(1080, trace.KindMigFail, 3, "alice", "dest busy")
+	l.Add(1440, trace.KindQuarantine, 0, "", "server k80-02: 3 crashes")
+	l.Add(1800, trace.KindDegrade, 0, "", "server v100-01 at 0.5×")
+	l.Add(2160.25, trace.KindDegradeEnd, 0, "", "server v100-01 recovered")
+	l.Add(2520, trace.KindUnquarantine, 0, "", "server k80-02 cool-off expired")
+	l.Add(2880, trace.KindFinish, 7, "böb", "模型 finished ✓")
+	return &l
+}
+
+func TestEventRoundTripCSV(t *testing.T) {
+	l := faultLog()
+	var buf bytes.Buffer
+	if err := l.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, l.Events()) {
+		t.Errorf("CSV round trip mismatch:\n got %+v\nwant %+v", got, l.Events())
+	}
+}
+
+func TestEventRoundTripJSON(t *testing.T) {
+	l := faultLog()
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, l.Events()) {
+		t.Errorf("JSON round trip mismatch:\n got %+v\nwant %+v", got, l.Events())
+	}
+}
+
+func TestEventRoundTripEmpty(t *testing.T) {
+	var l trace.Log
+
+	var csvBuf bytes.Buffer
+	if err := l.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	events, err := trace.ReadCSV(&csvBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Errorf("empty CSV produced %d events", len(events))
+	}
+
+	var jsonBuf bytes.Buffer
+	if err := l.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	events, err = trace.ReadJSON(&jsonBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Errorf("empty JSON produced %d events", len(events))
+	}
+}
+
+// ReadCSV must reject a workload-jobs CSV (different header) rather
+// than half-parse it as events.
+func TestReadCSVRejectsWrongHeader(t *testing.T) {
+	in := "user,model,gang,arrival_seconds,total_mb\nalice,resnet50,1,0,1000\n"
+	if _, err := trace.ReadCSV(strings.NewReader(in)); err == nil {
+		t.Fatal("workload CSV parsed as an event trace")
+	}
+}
+
+// summarizeEvents accepts both on-disk formats end to end, including
+// the fault kinds and non-ASCII strings.
+func TestSummarizeEventsFiles(t *testing.T) {
+	l := faultLog()
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		name  string
+		write func(f *os.File) error
+	}{
+		{"events.csv", func(f *os.File) error { return l.WriteCSV(f) }},
+		{"events.json", func(f *os.File) error { return l.WriteJSON(f) }},
+	} {
+		path := filepath.Join(dir, tc.name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tc.write(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		if err := summarizeEvents(path); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+	}
+	if err := summarizeEvents(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Error("missing file did not error")
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sync"
+
+	"repro/internal/obs/span"
 )
 
 // Message is a protocol message. Concrete types are registered with
@@ -73,6 +75,15 @@ type RoundPlan struct {
 	Round   int
 	Quantum float64 // seconds of training time this round
 	Jobs    []JobAssignment
+
+	// Trace/Span propagate the central scheduler's trace context so
+	// one logical round forms a single cross-process trace: Trace is
+	// the round's trace ID, Span the central round-root span the
+	// agent's spans parent under. Zero when tracing is off (old
+	// centrals still speak the protocol — gob treats absent fields as
+	// zero).
+	Trace uint64
+	Span  uint64
 }
 
 // JobProgress reports one job's state after a round.
@@ -88,6 +99,11 @@ type RoundReport struct {
 	Agent string
 	Round int
 	Jobs  []JobProgress
+
+	// Spans are the agent's spans for this round (present only when
+	// the plan carried a trace context); the central scheduler
+	// injects them into its tracer to complete the round's trace.
+	Spans []span.Span
 }
 
 // Shutdown tells an agent to exit.

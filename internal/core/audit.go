@@ -69,6 +69,7 @@ const (
 	InvUsefulBound  = "useful-bound" // useful seconds ≤ occupied seconds ≤ quantum, per job
 	InvQuarantine   = "quarantine"   // no placed device sits on a quarantined server
 	InvCompensation = "compensation" // per-user fault deficit drains monotonically while the user is active
+	InvDrill        = "drill"        // synthetic violation injected by Config.AuditDrillRound
 )
 
 // AuditViolation is one recorded invariant breach.
@@ -81,6 +82,18 @@ type AuditViolation struct {
 
 func (v AuditViolation) String() string {
 	return fmt.Sprintf("round %d (t=%v): %s: %s", v.Round, v.At, v.Invariant, v.Detail)
+}
+
+// AuditError is the error a strict-mode run aborts with; it wraps the
+// round's first violation so callers (the flight recorder's dump
+// trigger, tests) can distinguish audit failures from other
+// round-loop errors with errors.As.
+type AuditError struct {
+	Violation AuditViolation
+}
+
+func (e *AuditError) Error() string {
+	return fmt.Sprintf("core: audit: %s", e.Violation)
 }
 
 // maxRecordedViolations bounds the per-violation detail kept in
@@ -319,8 +332,7 @@ func (a *auditor) endRound() error {
 		}
 	}
 	if a.mode == AuditStrict && len(a.rep.Violations) > 0 {
-		v := a.rep.Violations[0]
-		return fmt.Errorf("core: audit: %s", v)
+		return &AuditError{Violation: a.rep.Violations[0]}
 	}
 	return nil
 }

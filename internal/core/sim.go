@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/migrate"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/placement"
 	"repro/internal/profiler"
 	"repro/internal/simclock"
@@ -80,6 +82,21 @@ type Config struct {
 	// byte-identical either way because the observer only reads
 	// engine state and never feeds anything back.
 	Obs *obs.Observer
+
+	// Flight attaches a flight recorder: the Observer feeds it one
+	// snapshot per round (spans, decisions, trades, fault events,
+	// shares), and Run dumps it to its file on an audit violation, any
+	// other round-loop error, or a panic. Requires Obs to be set for
+	// per-round capture; the failure-dump path works regardless. Like
+	// Obs, it only ever reads engine state.
+	Flight *flight.Recorder
+
+	// AuditDrillRound, when positive, injects one synthetic "drill"
+	// audit violation at that round (rounds count from 1). It
+	// exercises the violation → flight-dump → abort path end to end
+	// without corrupting any real invariant; CI uses it to assert a
+	// red run leaves a parseable flight.json behind.
+	AuditDrillRound int
 
 	// TraceCap bounds the event log to the most recent TraceCap
 	// events (ring semantics, oldest dropped). Zero means unlimited —
@@ -201,6 +218,9 @@ func (c Config) Validate() error {
 	if c.TraceCap < 0 {
 		return fmt.Errorf("core: negative TraceCap %d", c.TraceCap)
 	}
+	if c.AuditDrillRound < 0 {
+		return fmt.Errorf("core: negative AuditDrillRound %d", c.AuditDrillRound)
+	}
 	return nil
 }
 
@@ -256,6 +276,11 @@ type Result struct {
 	Log      *trace.Log
 	Rounds   int
 	End      simclock.Time
+
+	// SLO carries the run's service-level metrics: per-user
+	// finish-time fairness ρ (Themis), makespan, and JCT quantiles
+	// over finished jobs.
+	SLO metrics.SLO
 
 	// PhaseTotalsSeconds is cumulative wall-clock scheduler time per
 	// phase (see obs.Phase) — nil unless Config.Obs was set.
@@ -439,6 +464,11 @@ func New(cfg Config, policy Policy) (*Sim, error) {
 	if cfg.TraceCap > 0 {
 		s.log.SetCap(cfg.TraceCap)
 	}
+	// The nil check matters: SetSink takes an interface, and wrapping
+	// a typed-nil *Recorder would defeat the sink == nil fast path.
+	if cfg.Flight != nil {
+		cfg.Obs.SetSink(cfg.Flight)
+	}
 	s.ticketQ = make([]TicketChange, len(cfg.TicketChanges))
 	copy(s.ticketQ, cfg.TicketChanges)
 	sort.SliceStable(s.ticketQ, func(i, j int) bool { return s.ticketQ[i].At < s.ticketQ[j].At })
@@ -460,10 +490,27 @@ func New(cfg Config, policy Policy) (*Sim, error) {
 
 // Run simulates until the horizon or until every job finishes,
 // whichever comes first, and returns the result. Run may be called
-// once per Sim.
-func (s *Sim) Run(until simclock.Time) (*Result, error) {
+// once per Sim. With a flight recorder configured, any round-loop
+// error or panic dumps the recorder's window before surfacing.
+func (s *Sim) Run(until simclock.Time) (res *Result, err error) {
 	if until <= 0 {
 		return nil, fmt.Errorf("core: non-positive horizon")
+	}
+	if s.cfg.Flight != nil {
+		defer func() {
+			if p := recover(); p != nil {
+				_ = s.cfg.Flight.Dump("panic", fmt.Sprint(p))
+				panic(p)
+			}
+			if err != nil {
+				reason := "run-error"
+				var av *AuditError
+				if errors.As(err, &av) {
+					reason = "audit-violation"
+				}
+				_ = s.cfg.Flight.Dump(reason, err.Error())
+			}
+		}()
 	}
 	if err := s.materializeFaults(until); err != nil {
 		return nil, err
@@ -526,8 +573,10 @@ func (s *Sim) runRound() error {
 		s.ticketQ = s.ticketQ[1:]
 		s.tickets[tc.User] = tc.Tickets
 	}
+	s.obs.PhaseStart(obs.PhaseFaultSweep)
 	down := s.updateFaultState(now)
 	quar := s.breaker.Set()
+	s.obs.PhaseEnd(obs.PhaseFaultSweep)
 	s.obs.SetQuarantined(s.breaker.Count())
 	// Servers unusable this round: physically down or quarantined.
 	unavail := down
@@ -604,6 +653,9 @@ func (s *Sim) runRound() error {
 	}
 	capNow := st.CapacityByGen()
 	s.aud.beginRound(s.rounds, now, capNow, s.tickets)
+	if s.cfg.AuditDrillRound == s.rounds && s.aud.on() {
+		s.aud.violate(InvDrill, "operator-requested audit drill")
+	}
 	// Policy-independent fairness reference for this round,
 	// water-filled over the capacity actually available (failed
 	// servers excluded).
@@ -1236,6 +1288,30 @@ func (s *Sim) resultDeficit() map[job.UserID]float64 {
 	return out
 }
 
+// computeSLO derives the run's fairness SLO bundle. A job's
+// standalone reference is its exclusive runtime on the fastest
+// generation present in the cluster that it can use; Themis's N is
+// the number of users the run was configured with.
+func (s *Sim) computeSLO() metrics.SLO {
+	runs := make([]metrics.JobRun, 0, len(s.finished))
+	for _, j := range s.finished {
+		best := math.Inf(1)
+		for _, g := range s.cfg.Cluster.GensPresent() {
+			if !j.Perf.FitsOn(g) {
+				continue
+			}
+			if st := j.StandaloneTime(g); st < best {
+				best = st
+			}
+		}
+		runs = append(runs, metrics.JobRun{
+			User: string(j.User), JCT: j.JCT(),
+			Finish: float64(j.FinishTime()), Standalone: best,
+		})
+	}
+	return metrics.ComputeSLO(runs, len(s.tickets))
+}
+
 func (s *Sim) result() *Result {
 	var busy, capTotal float64
 	utilByGen := make(map[gpu.Generation]metrics.Utilization, len(s.capByGen))
@@ -1248,6 +1324,12 @@ func (s *Sim) result() *Result {
 		utilByGen[g] = metrics.Utilization{BusyGPUSeconds: b, CapacityGPUSeconds: c}
 		busy += b
 		capTotal += c
+	}
+	slo := s.computeSLO()
+	if s.obs != nil {
+		s.obs.SetSLO(slo.RhoByUser, map[string]float64{
+			"0.5": slo.JCT.Median, "0.95": slo.JCT.P95, "0.99": slo.JCT.P99,
+		}, slo.MakespanSeconds)
 	}
 	return &Result{
 		Policy:               s.policy.Name(),
@@ -1270,6 +1352,7 @@ func (s *Sim) result() *Result {
 		Log:                  s.log,
 		Rounds:               s.rounds,
 		End:                  s.clock.Now(),
+		SLO:                  slo,
 		Audit:                s.aud.report(),
 		PhaseTotalsSeconds:   s.obs.PhaseTotals(),
 	}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/job"
 	"repro/internal/migrate"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/placement"
 	"repro/internal/profiler"
 	"repro/internal/simclock"
@@ -41,6 +42,7 @@ type Agent struct {
 	gpus    int
 	obs     *obs.Observer
 	retry   *comm.Retrier
+	tracer  *span.Tracer // lazily created on the first traced plan
 }
 
 // SetObserver attaches instrumentation (nil is fine and is the
@@ -109,9 +111,21 @@ func (a *Agent) Run() error {
 }
 
 // execute runs one quantum's worth of training for the assigned jobs.
-// The agent is stateless: everything it needs arrives in the plan.
+// The agent is stateless apart from tracing: everything it needs to
+// compute arrives in the plan; when the plan carries a trace context,
+// the agent's spans parent under the central round root and ride back
+// on the report.
 func (a *Agent) execute(plan comm.RoundPlan) comm.RoundReport {
 	rep := comm.RoundReport{Agent: a.tr.Name(), Round: plan.Round}
+	var execSpan span.ID
+	traced := plan.Trace != 0
+	if traced {
+		if a.tracer == nil {
+			a.tracer = span.New(a.tr.Name(), span.DefaultCap)
+		}
+		a.tracer.BeginRemote(plan.Trace, plan.Round, 0, "agent-round", span.ID(plan.Span))
+		execSpan = a.tracer.Start(string(obs.PhaseExecute))
+	}
 	for _, as := range plan.Jobs {
 		useful := plan.Quantum - as.Overhead
 		if useful < 0 {
@@ -135,6 +149,11 @@ func (a *Agent) execute(plan comm.RoundPlan) comm.RoundReport {
 		rep.Jobs = append(rep.Jobs, comm.JobProgress{
 			JobID: as.JobID, DoneMB: done, Finished: finished, UsedSecs: used,
 		})
+	}
+	if traced {
+		a.tracer.End(execSpan)
+		a.tracer.EndRound()
+		rep.Spans = a.tracer.RoundSpans(plan.Round)
 	}
 	return rep
 }
@@ -582,6 +601,11 @@ func (c *Central) runRound(round int) error {
 	o := c.cfg.Obs
 	c.drainControl()
 	o.BeginRound(round, float64(c.now))
+	// Trace context shipped in every plan so agent spans join this
+	// round's trace (both zero when tracing is off).
+	ctr := o.Tracer()
+	ctrace := ctr.Trace()
+	croot := uint64(ctr.Root())
 	jobs := make([]*job.Job, 0, len(c.active))
 	for _, j := range c.active {
 		jobs = append(jobs, j)
@@ -687,7 +711,7 @@ func (c *Central) runRound(round int) error {
 			ai := c.serverOf[sid]
 			plan := plans[ai]
 			if plan == nil {
-				plan = &comm.RoundPlan{Round: round, Quantum: c.cfg.Quantum}
+				plan = &comm.RoundPlan{Round: round, Quantum: c.cfg.Quantum, Trace: ctrace, Span: croot}
 				plans[ai] = plan
 			}
 			frac := float64(len(locals)) / float64(len(devs))
@@ -758,6 +782,7 @@ func (c *Central) runRound(round int) error {
 			delete(want, rep.Agent)
 			c.missed[rep.Agent] = 0
 			o.NoteProtocol("report_received")
+			ctr.Inject(rep.Spans)
 			for _, p := range rep.Jobs {
 				id := job.ID(p.JobID)
 				// Weight this shard's useful seconds by its share of

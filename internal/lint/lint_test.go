@@ -42,6 +42,24 @@ func runOver(t *testing.T, cfg LoadConfig, patterns ...string) []Diagnostic {
 	return Run(pkgs, Analyzers())
 }
 
+// TestLoaderRespectsBuildConstraints pins the loader's build-tag
+// filtering: internal/tagpair declares the same function in a
+// //go:build unix file and a //go:build !unix file, so loading it
+// only typechecks if exactly one of the pair is selected.
+func TestLoaderRespectsBuildConstraints(t *testing.T) {
+	loader, err := NewLoader(LoadConfig{Dir: fixtureDir(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("./internal/tagpair")
+	if err != nil {
+		t.Fatalf("build-tag pair failed to load: %v", err)
+	}
+	if len(pkgs) != 1 || len(pkgs[0].Files) != 1 {
+		t.Fatalf("want 1 package with 1 selected file, got %d packages", len(pkgs))
+	}
+}
+
 // TestGoldenCorpus locks the analyzer suite's output over the fixture
 // module: every analyzer's positive cases, the suppression directive
 // (justified, unjustified, malformed), and the clean file.

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -282,7 +283,10 @@ func (l *Loader) load(path string, asRoot bool) (*Package, error) {
 
 // parseDir parses the directory's buildable files: the package's own
 // files plus, when withTests, its in-package _test.go files. External
-// test packages (package foo_test) are skipped.
+// test packages (package foo_test) are skipped, as are files excluded
+// from the current build context by //go:build constraints or _GOOS
+// filename suffixes (otherwise e.g. a signal_unix.go/signal_other.go
+// pair typechecks as a duplicate declaration).
 func (l *Loader) parseDir(dir string, withTests bool) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -296,6 +300,11 @@ func (l *Loader) parseDir(dir string, withTests bool) ([]*ast.File, error) {
 			continue
 		}
 		if strings.HasSuffix(name, "_test.go") && !withTests {
+			continue
+		}
+		if match, err := build.Default.MatchFile(dir, name); err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", filepath.Join(dir, name), err)
+		} else if !match {
 			continue
 		}
 		names = append(names, name)

@@ -1,0 +1,6 @@
+//go:build !unix
+
+package tagpair
+
+// Arm reports whether the platform hook is armed.
+func Arm() bool { return false }

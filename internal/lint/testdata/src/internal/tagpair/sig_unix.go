@@ -1,0 +1,9 @@
+//go:build unix
+
+// Package tagpair declares the same function under mutually exclusive
+// build constraints; the loader must pick exactly one file or
+// typechecking fails with a duplicate declaration.
+package tagpair
+
+// Arm reports whether the platform hook is armed.
+func Arm() bool { return true }

@@ -32,8 +32,8 @@ func Jain(xs []float64) float64 {
 
 // Stats summarizes a sample.
 type Stats struct {
-	N                           int
-	Mean, Median, P95, Min, Max float64
+	N                                int
+	Mean, Median, P95, P99, Min, Max float64
 }
 
 // Summarize computes order statistics of xs (which it does not
@@ -54,6 +54,7 @@ func Summarize(xs []float64) Stats {
 		Mean:   sum / float64(len(s)),
 		Median: quantile(s, 0.5),
 		P95:    quantile(s, 0.95),
+		P99:    quantile(s, 0.99),
 		Min:    s[0],
 		Max:    s[len(s)-1],
 	}

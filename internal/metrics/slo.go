@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// JobRun is one finished job's contribution to the fairness SLO: its
+// observed completion time and its best-case standalone runtime (the
+// exclusive-cluster time on the fastest generation it can use).
+type JobRun struct {
+	User       string
+	JCT        float64 // observed completion time (finish − arrival), seconds
+	Finish     float64 // absolute finish time on the simulated clock, seconds
+	Standalone float64 // exclusive best-generation runtime, seconds
+}
+
+// SLO bundles the run-level service-level metrics the evaluation
+// reports: Themis's finish-time fairness ρ, makespan, and JCT
+// quantiles.
+type SLO struct {
+	// RhoByUser is each user's mean finish-time fairness ρ over their
+	// finished jobs: JCT / (standalone × N users). Under perfect
+	// 1/N sharing of a homogeneous cluster ρ ≈ 1; ρ > 1 means the
+	// user finished later than their fair share warrants.
+	RhoByUser map[string]float64
+
+	// RhoMax is the worst per-user ρ — the single fairness SLO
+	// number (Themis minimizes exactly this).
+	RhoMax float64
+
+	// MakespanSeconds is when the last finished job completed (0 when
+	// nothing finished).
+	MakespanSeconds float64
+
+	// JCT summarizes completion times over finished jobs.
+	JCT Stats
+}
+
+// ComputeSLO derives the SLO bundle from per-job outcomes. numUsers
+// is the number of users contending over the run (Themis's N); values
+// < 1 are treated as 1. Jobs with a non-positive or infinite
+// standalone time are excluded from ρ but still count toward JCT and
+// makespan.
+func ComputeSLO(runs []JobRun, numUsers int) SLO {
+	if numUsers < 1 {
+		numUsers = 1
+	}
+	n := float64(numUsers)
+	rhoSum := make(map[string]float64)
+	rhoCnt := make(map[string]int)
+	jcts := make([]float64, 0, len(runs))
+	makespan := 0.0
+	for _, r := range runs {
+		jcts = append(jcts, r.JCT)
+		if r.Finish > makespan {
+			makespan = r.Finish
+		}
+		if r.Standalone <= 0 || math.IsInf(r.Standalone, 0) {
+			continue
+		}
+		rhoSum[r.User] += r.JCT / (r.Standalone * n)
+		rhoCnt[r.User]++
+	}
+	out := SLO{
+		RhoByUser:       make(map[string]float64, len(rhoSum)),
+		MakespanSeconds: makespan,
+		JCT:             Summarize(jcts),
+	}
+	users := make([]string, 0, len(rhoSum))
+	for u := range rhoSum {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	for _, u := range users {
+		rho := rhoSum[u] / float64(rhoCnt[u])
+		out.RhoByUser[u] = rho
+		if rho > out.RhoMax {
+			out.RhoMax = rho
+		}
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestComputeSLO(t *testing.T) {
+	runs := []JobRun{
+		{User: "alice", JCT: 2000, Finish: 2500, Standalone: 1000},
+		{User: "alice", JCT: 4000, Finish: 4200, Standalone: 1000},
+		{User: "bob", JCT: 1000, Finish: 6000, Standalone: 1000},
+	}
+	slo := ComputeSLO(runs, 2)
+	// alice: mean of 2000/2000 and 4000/2000 = 1.5; bob: 1000/2000 = 0.5.
+	if got := slo.RhoByUser["alice"]; math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("alice rho = %v, want 1.5", got)
+	}
+	if got := slo.RhoByUser["bob"]; math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("bob rho = %v, want 0.5", got)
+	}
+	if slo.RhoMax != slo.RhoByUser["alice"] {
+		t.Errorf("rho max = %v", slo.RhoMax)
+	}
+	if slo.MakespanSeconds != 6000 {
+		t.Errorf("makespan = %v, want 6000 (last absolute finish)", slo.MakespanSeconds)
+	}
+	if slo.JCT.N != 3 || slo.JCT.Max != 4000 || slo.JCT.Min != 1000 {
+		t.Errorf("jct stats = %+v", slo.JCT)
+	}
+}
+
+func TestComputeSLOSkipsUnboundedStandalone(t *testing.T) {
+	runs := []JobRun{
+		{User: "a", JCT: 100, Finish: 100, Standalone: math.Inf(1)},
+		{User: "a", JCT: 300, Finish: 300, Standalone: 0},
+	}
+	slo := ComputeSLO(runs, 3)
+	if len(slo.RhoByUser) != 0 || slo.RhoMax != 0 {
+		t.Errorf("rho from unbounded standalone: %+v", slo)
+	}
+	// Excluded jobs still count toward JCT and makespan.
+	if slo.JCT.N != 2 || slo.MakespanSeconds != 300 {
+		t.Errorf("jct/makespan = %+v", slo)
+	}
+}
+
+func TestComputeSLOEmptyAndClamps(t *testing.T) {
+	slo := ComputeSLO(nil, 0)
+	if slo.RhoMax != 0 || slo.MakespanSeconds != 0 || slo.JCT.N != 0 {
+		t.Errorf("empty SLO = %+v", slo)
+	}
+	// numUsers < 1 clamps to 1.
+	one := ComputeSLO([]JobRun{{User: "u", JCT: 10, Finish: 10, Standalone: 10}}, -5)
+	if got := one.RhoByUser["u"]; got != 1 {
+		t.Errorf("clamped rho = %v, want 1", got)
+	}
+}
+
+func TestSummarizeP99(t *testing.T) {
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	s := Summarize(xs)
+	if s.P99 != 99 {
+		t.Errorf("p99 = %v, want 99", s.P99)
+	}
+	if one := Summarize([]float64{7}); one.P99 != 7 {
+		t.Errorf("singleton p99 = %v", one.P99)
+	}
+}

@@ -1,0 +1,176 @@
+package flight
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func snap(round int) obs.RoundSnapshot {
+	return obs.RoundSnapshot{
+		Round: round, SimAt: float64(round) * 360,
+		Events: []obs.RoundEvent{{Kind: "fault", Name: "jobcrash"}},
+		Shares: []obs.ShareSample{{User: "alice", Usage: 0.5, Fair: 0.5}},
+	}
+}
+
+func TestRingKeepsLastN(t *testing.T) {
+	r := New(3, filepath.Join(t.TempDir(), "flight.json"))
+	for i := 0; i < 5; i++ {
+		r.RecordRound(snap(i))
+	}
+	rounds := r.Rounds()
+	if len(rounds) != 3 {
+		t.Fatalf("retained %d rounds, want 3", len(rounds))
+	}
+	if rounds[0].Round != 2 || rounds[2].Round != 4 {
+		t.Fatalf("window = %d..%d, want 2..4", rounds[0].Round, rounds[2].Round)
+	}
+}
+
+func TestDumpAtomicAndParseable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flight.json")
+	r := New(8, path)
+	r.RecordRound(snap(0))
+	r.RecordRound(snap(1))
+	if err := r.Dump("audit-violation", "round 1: capacity: 9 > 8"); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ReadDump(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Reason != "audit-violation" || d.Detail == "" {
+		t.Fatalf("dump header = %+v", d)
+	}
+	if len(d.Rounds) != 2 || d.Rounds[1].Round != 1 {
+		t.Fatalf("dump rounds = %+v", d.Rounds)
+	}
+	if d.Rounds[0].Events[0].Name != "jobcrash" {
+		t.Fatalf("events lost: %+v", d.Rounds[0])
+	}
+	if d.WrittenAt == "" {
+		t.Fatal("missing timestamp")
+	}
+	// No temp files left behind.
+	entries, _ := os.ReadDir(filepath.Dir(path))
+	for _, e := range entries {
+		if e.Name() != "flight.json" {
+			t.Fatalf("leftover file %s", e.Name())
+		}
+	}
+	if r.Dumps() != 1 {
+		t.Fatalf("dumps = %d", r.Dumps())
+	}
+}
+
+func TestEmptyDump(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flight.json")
+	if err := New(4, path).Dump("manual", ""); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ReadDump(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rounds == nil || len(d.Rounds) != 0 {
+		t.Fatalf("empty dump rounds = %#v, want []", d.Rounds)
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.RecordRound(snap(0))
+	if err := r.Dump("manual", ""); err != nil {
+		t.Fatal(err)
+	}
+	if r.Rounds() != nil || r.Dumps() != 0 || r.Path() != "" {
+		t.Fatal("nil recorder leaked state")
+	}
+}
+
+func TestObserverSinkIntegration(t *testing.T) {
+	r := New(4, filepath.Join(t.TempDir(), "flight.json"))
+	o := obs.New()
+	o.SetSink(r)
+	o.BeginRound(0, 0)
+	o.NoteFault("jobcrash")
+	o.SetShare("bob", 0.4, 0.5)
+	o.RecordPlacement(1, "bob", "V100", 1, []int{0}, false, "")
+	o.EndRound(1, 0)
+
+	rounds := r.Rounds()
+	if len(rounds) != 1 {
+		t.Fatalf("sink got %d rounds", len(rounds))
+	}
+	got := rounds[0]
+	if len(got.Decisions) != 1 || got.Decisions[0].User != "bob" {
+		t.Fatalf("decisions = %+v", got.Decisions)
+	}
+	if len(got.Events) != 1 || got.Events[0].Name != "jobcrash" {
+		t.Fatalf("events = %+v", got.Events)
+	}
+	if len(got.Shares) != 1 || got.Shares[0].User != "bob" {
+		t.Fatalf("shares = %+v", got.Shares)
+	}
+}
+
+func TestServeHTTP(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flight.json")
+	r := New(4, path)
+	r.RecordRound(snap(3))
+
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flight", nil))
+	var body struct {
+		Rounds []obs.RoundSnapshot `json:"rounds"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(body.Rounds) != 1 || body.Rounds[0].Round != 3 {
+		t.Fatalf("http rounds = %+v", body.Rounds)
+	}
+
+	// ?save=1 triggers a dump.
+	r.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/debug/flight?save=1", nil))
+	if _, err := ReadDump(path); err != nil {
+		t.Fatalf("save=1 produced no parseable dump: %v", err)
+	}
+
+	// Nil recorder responds 503, not panic.
+	rec = httptest.NewRecorder()
+	(*Recorder)(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flight", nil))
+	if rec.Code != 503 {
+		t.Fatalf("nil recorder status = %d", rec.Code)
+	}
+}
+
+func TestConcurrentRecordAndDump(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flight.json")
+	r := New(16, path)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				r.RecordRound(snap(g*50 + i))
+				if i%10 == 0 {
+					if err := r.Dump("manual", ""); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if _, err := ReadDump(path); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package flight
+
+// DumpOnSignal is a no-op where SIGUSR1 does not exist; the HTTP
+// ?save=1 trigger remains available.
+func (r *Recorder) DumpOnSignal(logf func(format string, args ...any)) {}

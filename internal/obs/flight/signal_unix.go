@@ -1,0 +1,36 @@
+//go:build unix
+
+package flight
+
+import (
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// DumpOnSignal arms a SIGUSR1 handler that dumps the recorder to its
+// configured path — the operator's "what just happened" trigger on a
+// live process. logf (nil OK) receives a note per dump or failure;
+// route it to stderr so stdout stays byte-identical. The handler
+// goroutine lives for the process: flight recording is an arm-once
+// ops surface, not something runs toggle.
+func (r *Recorder) DumpOnSignal(logf func(format string, args ...any)) {
+	if r == nil {
+		return
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGUSR1)
+	go func() {
+		for range ch {
+			err := r.Dump("signal", "SIGUSR1")
+			if logf == nil {
+				continue
+			}
+			if err != nil {
+				logf("flight: dump on SIGUSR1: %v", err)
+			} else {
+				logf("flight: dumped %s on SIGUSR1", r.Path())
+			}
+		}
+	}()
+}

@@ -5,7 +5,20 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 )
+
+// MuxOptions selects optional surfaces on the introspection mux.
+type MuxOptions struct {
+	// PProf mounts net/http/pprof under /debug/pprof/ (CPU, heap,
+	// goroutine profiles). Off by default: profiling endpoints on a
+	// metrics port should be an explicit operator choice.
+	PProf bool
+
+	// Flight, when non-nil, is mounted at /debug/flight (the flight
+	// recorder's live window; ?save=1 dumps it to disk).
+	Flight http.Handler
+}
 
 // Handler serves the introspection surface for one Observer:
 //
@@ -13,7 +26,23 @@ import (
 //	/healthz     liveness ("ok")
 //	/debug/sched recent explained decisions + phase timings as JSON
 func Handler(o *Observer) http.Handler {
+	return HandlerOpts(o, MuxOptions{})
+}
+
+// HandlerOpts is Handler with optional surfaces (pprof, flight
+// recorder) enabled per MuxOptions.
+func HandlerOpts(o *Observer, opt MuxOptions) http.Handler {
 	mux := http.NewServeMux()
+	if opt.PProf {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	if opt.Flight != nil {
+		mux.Handle("/debug/flight", opt.Flight)
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		//gflint:ignore errdrop a client that hung up mid-response has no remedy
@@ -43,11 +72,16 @@ func Handler(o *Observer) http.Handler {
 // "127.0.0.1:0") in a background goroutine and returns the server
 // and the bound address. Callers own shutdown via srv.Close.
 func Serve(addr string, o *Observer) (*http.Server, string, error) {
+	return ServeOpts(addr, o, MuxOptions{})
+}
+
+// ServeOpts is Serve with optional surfaces per MuxOptions.
+func ServeOpts(addr string, o *Observer, opt MuxOptions) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", fmt.Errorf("obs: %w", err)
 	}
-	srv := &http.Server{Handler: Handler(o)}
+	srv := &http.Server{Handler: HandlerOpts(o, opt)}
 	go srv.Serve(ln)
 	return srv, ln.Addr().String(), nil
 }

@@ -1,9 +1,13 @@
 package obs
 
 import (
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/obs/span"
 )
 
 // Phase names one segment of a scheduling round. The simulation core
@@ -15,17 +19,18 @@ type Phase string
 // through audit; the distributed central scheduler additionally uses
 // dispatch/collect/apply (its execute happens on remote agents).
 const (
-	PhaseArrivals  Phase = "arrivals"  // admit newly arrived jobs
-	PhaseWaterfill Phase = "waterfill" // ticket water-filling (policy + fair reference)
-	PhaseDecide    Phase = "decide"    // full policy decision
-	PhaseTrade     Phase = "trade"     // resource-trading loop inside decide
-	PhasePlacement Phase = "placement" // gang → device assignment
-	PhaseMigrate   Phase = "migrate"   // migration bookkeeping
-	PhaseExecute   Phase = "execute"   // advancing job progress
-	PhaseAudit     Phase = "audit"     // invariant auditor
-	PhaseDispatch  Phase = "dispatch"  // distrib: shipping round plans
-	PhaseCollect   Phase = "collect"   // distrib: waiting for agent reports
-	PhaseApply     Phase = "apply"     // distrib: applying agent reports
+	PhaseArrivals   Phase = "arrivals"   // admit newly arrived jobs
+	PhaseWaterfill  Phase = "waterfill"  // ticket water-filling (policy + fair reference)
+	PhaseDecide     Phase = "decide"     // full policy decision
+	PhaseTrade      Phase = "trade"      // resource-trading loop inside decide
+	PhasePlacement  Phase = "placement"  // gang → device assignment
+	PhaseMigrate    Phase = "migrate"    // migration bookkeeping
+	PhaseExecute    Phase = "execute"    // advancing job progress
+	PhaseAudit      Phase = "audit"      // invariant auditor
+	PhaseDispatch   Phase = "dispatch"   // distrib: shipping round plans
+	PhaseCollect    Phase = "collect"    // distrib: waiting for agent reports
+	PhaseApply      Phase = "apply"      // distrib: applying agent reports
+	PhaseFaultSweep Phase = "faultsweep" // injected-fault state sweep (crash, quarantine, repair)
 )
 
 // AllPhases lists every phase; the Observer pre-registers each so
@@ -33,7 +38,7 @@ const (
 var AllPhases = []Phase{
 	PhaseArrivals, PhaseWaterfill, PhaseDecide, PhaseTrade,
 	PhasePlacement, PhaseMigrate, PhaseExecute, PhaseAudit,
-	PhaseDispatch, PhaseCollect, PhaseApply,
+	PhaseDispatch, PhaseCollect, PhaseApply, PhaseFaultSweep,
 }
 
 // phaseBuckets spans sub-microsecond to multi-second phase times.
@@ -81,6 +86,42 @@ type TradeEvent struct {
 	FastGPUs float64 `json:"fast_gpus"`
 	SlowGPUs float64 `json:"slow_gpus"`
 	Price    float64 `json:"price"`
+}
+
+// RoundEvent is one discrete event the Observer saw during a round:
+// an injected fault ("fault") or a distributed-protocol event
+// ("protocol").
+type RoundEvent struct {
+	Kind string `json:"kind"`
+	Name string `json:"name"`
+}
+
+// ShareSample is one user's usage/fair share pair as published during
+// a round.
+type ShareSample struct {
+	User  string  `json:"user"`
+	Usage float64 `json:"usage_frac"`
+	Fair  float64 `json:"fair_frac"`
+}
+
+// RoundSnapshot is everything the Observer learned about one round,
+// handed to a RoundSink (the flight recorder) at EndRound.
+type RoundSnapshot struct {
+	Round     int                `json:"round"`
+	SimAt     float64            `json:"sim_at"`
+	Phases    map[string]float64 `json:"phase_seconds,omitempty"`
+	Decisions []Decision         `json:"decisions,omitempty"`
+	Trades    []TradeEvent       `json:"trades,omitempty"`
+	Events    []RoundEvent       `json:"events,omitempty"`
+	Shares    []ShareSample      `json:"shares,omitempty"`
+	Spans     []span.Span        `json:"spans,omitempty"`
+}
+
+// RoundSink consumes per-round snapshots. Implementations must be
+// safe for concurrent use with scrapes; the Observer calls
+// RecordRound outside its own lock.
+type RoundSink interface {
+	RecordRound(RoundSnapshot)
 }
 
 // Snapshot is the /debug/sched payload: recent explained decisions
@@ -134,6 +175,9 @@ type Observer struct {
 	quarServers    *Gauge
 	compDeficit    *GaugeVec
 	compRepaid     *Counter
+	sloRho         *GaugeVec
+	sloJCT         *GaugeVec
+	sloMakespan    *Gauge
 
 	mu          sync.Mutex
 	curRound    int
@@ -143,6 +187,20 @@ type Observer struct {
 	lastRound   map[Phase]float64
 	totals      map[Phase]float64
 	pendingWhy  map[int64]choiceNote
+
+	// Span tracing and the per-round sink (flight recorder). The
+	// tracer pointer is set once before the run starts and read-only
+	// afterwards; phaseSpans maps open phases to their span IDs.
+	tracer     *span.Tracer
+	sink       RoundSink
+	phaseSpans map[Phase]span.ID
+
+	// Per-round accumulation for the sink, reset at BeginRound and
+	// flushed at EndRound. Only populated while sink != nil.
+	curDecisions []Decision
+	curTrades    []TradeEvent
+	curEvents    []RoundEvent
+	curShares    map[string]ShareSample
 
 	decRing  []Decision
 	decNext  int
@@ -172,6 +230,8 @@ func NewSized(ringSize int) *Observer {
 		lastRound:   make(map[Phase]float64),
 		totals:      make(map[Phase]float64),
 		pendingWhy:  make(map[int64]choiceNote),
+		phaseSpans:  make(map[Phase]span.ID),
+		curShares:   make(map[string]ShareSample),
 		ringSize:    ringSize,
 	}
 	o.roundsTotal = reg.Counter("gf_rounds_total", "Scheduling rounds completed.").With()
@@ -203,7 +263,91 @@ func NewSized(ringSize int) *Observer {
 		"Outstanding failure-compensation debt per user, in occupied GPU-seconds.", "user")
 	o.compRepaid = reg.Counter("gf_comp_repaid_gpu_seconds_total",
 		"Cumulative failure-compensation repaid, in occupied GPU-seconds.").With()
+	o.sloRho = reg.Gauge("gf_finish_time_fairness_rho",
+		"Finish-time fairness ρ per user (Themis): mean JCT over standalone-time × active users; ≤ 1 is fair.", "user")
+	o.sloJCT = reg.Gauge("gf_jct_seconds",
+		"Job completion time quantiles over finished jobs, in simulated seconds.", "q")
+	o.sloMakespan = reg.Gauge("gf_makespan_seconds",
+		"Simulated time at which the last job finished.").With()
+	bi := reg.Gauge("gf_build_info",
+		"Build metadata; value is always 1.", "goversion", "revision")
+	bi.With(runtime.Version(), vcsRevision()).Set(1)
 	return o
+}
+
+// vcsRevision extracts the VCS commit the binary was built from
+// ("unknown" when build info is absent, e.g. under `go test` before
+// Go stamps test binaries).
+func vcsRevision() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" {
+				return s.Value
+			}
+		}
+	}
+	return "unknown"
+}
+
+// SetTracer attaches a span tracer; phase starts/ends and round
+// boundaries then emit spans automatically. Call before the run
+// starts. A nil Observer ignores the call.
+func (o *Observer) SetTracer(t *span.Tracer) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.tracer = t
+	o.mu.Unlock()
+}
+
+// Tracer returns the attached tracer (nil when absent or o is nil).
+func (o *Observer) Tracer() *span.Tracer {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.tracer
+}
+
+// SetSink attaches a per-round snapshot consumer (the flight
+// recorder). Call before the run starts.
+func (o *Observer) SetSink(s RoundSink) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.sink = s
+	o.mu.Unlock()
+}
+
+// SetSLO publishes end-of-run fairness SLO metrics: per-user
+// finish-time fairness ρ, JCT quantiles (q is "0.5", "0.95",
+// "0.99"), and makespan. Pass a negative value to skip a gauge.
+func (o *Observer) SetSLO(rhoByUser map[string]float64, jctByQ map[string]float64, makespan float64) {
+	if o == nil {
+		return
+	}
+	users := make([]string, 0, len(rhoByUser))
+	for u := range rhoByUser {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	for _, u := range users {
+		o.sloRho.With(u).Set(rhoByUser[u])
+	}
+	qs := make([]string, 0, len(jctByQ))
+	for q := range jctByQ {
+		qs = append(qs, q)
+	}
+	sort.Strings(qs)
+	for _, q := range qs {
+		o.sloJCT.With(q).Set(jctByQ[q])
+	}
+	if makespan >= 0 {
+		o.sloMakespan.Set(makespan)
+	}
 }
 
 // Registry exposes the underlying registry (nil for a nil Observer).
@@ -226,7 +370,15 @@ func (o *Observer) BeginRound(round int, simNow float64) {
 	if len(o.pendingWhy) > 0 {
 		o.pendingWhy = make(map[int64]choiceNote)
 	}
+	tracer, sink := o.tracer, o.sink
+	if sink != nil {
+		o.curDecisions = nil
+		o.curTrades = nil
+		o.curEvents = nil
+		o.curShares = make(map[string]ShareSample)
+	}
 	o.mu.Unlock()
+	tracer.BeginRound(round, simNow)
 	o.simTime.Set(simNow)
 }
 
@@ -239,6 +391,9 @@ func (o *Observer) PhaseStart(p Phase) {
 	t := o.now()
 	o.mu.Lock()
 	o.phaseStarts[p] = t
+	if o.tracer != nil {
+		o.phaseSpans[p] = o.tracer.Start(string(p))
+	}
 	o.mu.Unlock()
 }
 
@@ -252,6 +407,10 @@ func (o *Observer) PhaseEnd(p Phase) {
 	if start, ok := o.phaseStarts[p]; ok {
 		o.building[p] += t.Sub(start).Seconds()
 		delete(o.phaseStarts, p)
+	}
+	if id, ok := o.phaseSpans[p]; ok {
+		o.tracer.End(id)
+		delete(o.phaseSpans, p)
 	}
 	o.mu.Unlock()
 }
@@ -271,7 +430,28 @@ func (o *Observer) EndRound(active, pending int) {
 		o.totals[p] += secs
 		phases = append(phases, p)
 	}
+	tracer, sink := o.tracer, o.sink
+	var snap RoundSnapshot
+	if sink != nil {
+		snap = RoundSnapshot{
+			Round:     o.curRound,
+			SimAt:     o.curAt,
+			Phases:    make(map[string]float64, len(built)),
+			Decisions: o.curDecisions,
+			Trades:    o.curTrades,
+			Events:    o.curEvents,
+			Shares:    sortedShares(o.curShares),
+		}
+		for p, secs := range built {
+			snap.Phases[string(p)] = secs
+		}
+		o.curDecisions = nil
+		o.curTrades = nil
+		o.curEvents = nil
+		o.curShares = make(map[string]ShareSample)
+	}
 	o.mu.Unlock()
+	tracer.EndRound()
 	sort.Slice(phases, func(i, j int) bool { return phases[i] < phases[j] })
 	for _, p := range phases {
 		if h := o.phaseHist[p]; h != nil {
@@ -281,6 +461,25 @@ func (o *Observer) EndRound(active, pending int) {
 	o.roundsTotal.Inc()
 	o.jobsActive.Set(float64(active))
 	o.jobsPending.Set(float64(pending))
+	if sink != nil {
+		if tracer != nil {
+			snap.Spans = tracer.RoundSpans(snap.Round)
+		}
+		sink.RecordRound(snap)
+	}
+}
+
+// sortedShares linearizes the per-round share map by user.
+func sortedShares(m map[string]ShareSample) []ShareSample {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]ShareSample, 0, len(m))
+	for _, s := range m {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].User < out[j].User })
+	return out
 }
 
 // NoteChoice records the policy-side explanation for scheduling one
@@ -322,6 +521,9 @@ func (o *Observer) RecordPlacement(job int64, user, gen string, gang int, device
 	}
 	o.decNext = (o.decNext + 1) % o.ringSize
 	o.decSeen++
+	if o.sink != nil {
+		o.curDecisions = append(o.curDecisions, d)
+	}
 	o.mu.Unlock()
 	o.decisionsTotal.Inc()
 	if migrated {
@@ -347,6 +549,9 @@ func (o *Observer) NoteTrade(buyer, seller, fast, slow string, fastGPUs, slowGPU
 	}
 	o.trNext = (o.trNext + 1) % o.ringSize
 	o.trSeen++
+	if o.sink != nil {
+		o.curTrades = append(o.curTrades, t)
+	}
 	o.mu.Unlock()
 	o.tradesTotal.Inc()
 }
@@ -381,6 +586,11 @@ func (o *Observer) SetShare(user string, usageFrac, fairFrac float64) {
 	if o == nil {
 		return
 	}
+	o.mu.Lock()
+	if o.sink != nil {
+		o.curShares[user] = ShareSample{User: user, Usage: usageFrac, Fair: fairFrac}
+	}
+	o.mu.Unlock()
 	o.shareUsage.With(user).Set(usageFrac)
 	o.shareFair.With(user).Set(fairFrac)
 }
@@ -391,6 +601,11 @@ func (o *Observer) NoteProtocol(event string) {
 	if o == nil {
 		return
 	}
+	o.mu.Lock()
+	if o.sink != nil {
+		o.curEvents = append(o.curEvents, RoundEvent{Kind: "protocol", Name: event})
+	}
+	o.mu.Unlock()
 	o.protoEvents.With(event).Inc()
 }
 
@@ -399,6 +614,11 @@ func (o *Observer) NoteFault(kind string) {
 	if o == nil {
 		return
 	}
+	o.mu.Lock()
+	if o.sink != nil {
+		o.curEvents = append(o.curEvents, RoundEvent{Kind: "fault", Name: kind})
+	}
+	o.mu.Unlock()
 	o.faultEvents.With(kind).Inc()
 }
 

@@ -1,0 +1,430 @@
+// Package span is a dependency-free tracing substrate for the
+// scheduler's round loop. One logical scheduling round is one trace;
+// every phase inside it — whether executed by the in-process engine
+// or by a remote agent — is a span with a parent link, the simulated
+// round it belongs to, and wall-anchored monotonic timestamps.
+//
+// Design constraints, in order:
+//
+//  1. Determinism: span IDs are a per-process sequence prefixed with
+//     an FNV hash of the process name, so concurrent processes never
+//     collide and a fixed-seed run produces the same ID sequence
+//     every time. Timestamps are wall-clock and therefore vary, but
+//     they are observe-only: nothing in the scheduler reads them.
+//  2. Zero dependencies: the package imports only the standard
+//     library, so internal/comm can carry spans across the wire
+//     without an import cycle.
+//  3. Bounded memory: the tracer keeps a ring of the last Cap spans
+//     and counts what it dropped.
+//
+// Export formats: WriteJSON emits the retained spans as a JSON array;
+// WriteChromeTrace emits Chrome trace_event JSON loadable in Perfetto
+// (ui.perfetto.dev) or chrome://tracing, with flow arrows linking
+// remote spans to their cross-process parents.
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ID identifies one span. The high 32 bits are an FNV-1a hash of the
+// originating process name; the low 32 bits are a per-process
+// sequence number starting at 1. Zero means "no span".
+type ID uint64
+
+// Span is one timed segment of work. Remote spans travel over the
+// wire by value (gob/json), so every field is exported and plain.
+type Span struct {
+	// Trace groups spans of one logical round across processes. The
+	// central scheduler (or the simulation core) sets it to the round
+	// number + 1 so round 0 still gets a nonzero trace ID.
+	Trace uint64 `json:"trace"`
+	ID    ID     `json:"id"`
+	// Parent is the enclosing span's ID; zero for a trace root. A
+	// remote span's parent may live in another process.
+	Parent ID     `json:"parent,omitempty"`
+	Name   string `json:"name"`
+	// Proc names the originating process ("sim", "central",
+	// "agent-3", ...); it becomes the Perfetto process row.
+	Proc string `json:"proc"`
+	// Round and SimAt anchor the span in simulated time.
+	Round int     `json:"round"`
+	SimAt float64 `json:"sim_at"`
+	// StartNs is wall-clock Unix nanoseconds at span start; DurNs is
+	// the monotonic duration. DurNs < 0 marks a span still open.
+	StartNs int64 `json:"start_ns"`
+	DurNs   int64 `json:"dur_ns"`
+}
+
+// Tracer records spans for one process into a bounded ring. All
+// methods are safe for concurrent use, and every method is nil-safe
+// so instrumented code needs no enablement checks.
+type Tracer struct {
+	mu      sync.Mutex
+	proc    string
+	procID  uint32
+	seq     uint32
+	cap     int
+	ring    []Span
+	next    int
+	dropped uint64
+	open    map[ID]int // open span ID → ring index (while not evicted)
+
+	// Current round context.
+	trace uint64
+	round int
+	simAt float64
+	root  ID
+
+	epoch     time.Time // wall anchor
+	epochMono time.Time // monotonic anchor (same instant)
+}
+
+// DefaultCap bounds the span ring when the caller passes cap <= 0:
+// at ~15 spans per round that retains several hundred rounds.
+const DefaultCap = 8192
+
+// New builds a Tracer for the named process keeping the last cap
+// spans (DefaultCap when cap <= 0).
+func New(proc string, cap int) *Tracer {
+	if cap <= 0 {
+		cap = DefaultCap
+	}
+	now := time.Now()
+	return &Tracer{
+		proc:      proc,
+		procID:    hashProc(proc),
+		cap:       cap,
+		open:      make(map[ID]int),
+		epoch:     now,
+		epochMono: now,
+	}
+}
+
+func hashProc(proc string) uint32 {
+	h := fnv.New32a()
+	//gflint:ignore errdrop fnv hash Write cannot fail
+	h.Write([]byte(proc))
+	v := h.Sum32()
+	if v == 0 {
+		v = 1 // keep IDs nonzero even for a pathological hash
+	}
+	return v
+}
+
+// Proc returns the tracer's process name ("" for nil).
+func (t *Tracer) Proc() string {
+	if t == nil {
+		return ""
+	}
+	return t.proc
+}
+
+// nowNs returns wall-anchored monotonic nanoseconds since the Unix
+// epoch: the wall epoch captured at construction plus the monotonic
+// time elapsed since, immune to wall-clock steps.
+func (t *Tracer) nowNs() int64 {
+	return t.epoch.UnixNano() + int64(time.Since(t.epochMono))
+}
+
+func (t *Tracer) nextID() ID {
+	t.seq++
+	return ID(uint64(t.procID)<<32 | uint64(t.seq))
+}
+
+// push appends a span to the ring, evicting the oldest when full.
+func (t *Tracer) push(s Span) int {
+	if len(t.ring) < t.cap {
+		t.ring = append(t.ring, s)
+		return len(t.ring) - 1
+	}
+	evicted := t.ring[t.next]
+	if evicted.DurNs >= 0 {
+		t.dropped++
+	} else {
+		// Evicting a still-open span: forget it so End becomes a
+		// no-op rather than closing an unrelated slot.
+		delete(t.open, evicted.ID)
+		t.dropped++
+	}
+	idx := t.next
+	t.ring[idx] = s
+	t.next = (t.next + 1) % t.cap
+	return idx
+}
+
+// begin opens a span under the lock and returns its ID.
+func (t *Tracer) begin(trace uint64, name string, parent ID, round int, simAt float64) ID {
+	id := t.nextID()
+	idx := t.push(Span{
+		Trace: trace, ID: id, Parent: parent, Name: name,
+		Proc: t.proc, Round: round, SimAt: simAt,
+		StartNs: t.nowNs(), DurNs: -1,
+	})
+	t.open[id] = idx
+	return id
+}
+
+// BeginRound opens the root span of a new round-scoped trace. The
+// trace ID is round+1 in every process, which is what stitches the
+// central and agent halves of one round into a single trace.
+func (t *Tracer) BeginRound(round int, simAt float64) ID {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.trace = uint64(round) + 1
+	t.round = round
+	t.simAt = simAt
+	t.root = t.begin(t.trace, "round", 0, round, simAt)
+	return t.root
+}
+
+// BeginRemote opens a span whose parent lives in another process:
+// the agent side of a dispatched round. trace and parent come off
+// the wire; the span still gets this process's ID prefix.
+func (t *Tracer) BeginRemote(trace uint64, round int, simAt float64, name string, parent ID) ID {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.trace = trace
+	t.round = round
+	t.simAt = simAt
+	t.root = t.begin(trace, name, parent, round, simAt)
+	return t.root
+}
+
+// Start opens a child span of the current round root.
+func (t *Tracer) Start(name string) ID {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.begin(t.trace, name, t.root, t.round, t.simAt)
+}
+
+// StartUnder opens a child span of an explicit parent.
+func (t *Tracer) StartUnder(name string, parent ID) ID {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.begin(t.trace, name, parent, t.round, t.simAt)
+}
+
+// End closes an open span. Ending an unknown (or already-evicted)
+// span is a no-op.
+func (t *Tracer) End(id ID) {
+	if t == nil || id == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx, ok := t.open[id]
+	if !ok {
+		return
+	}
+	delete(t.open, id)
+	t.ring[idx].DurNs = t.nowNs() - t.ring[idx].StartNs
+}
+
+// EndRound closes the current round root span.
+func (t *Tracer) EndRound() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	root := t.root
+	t.root = 0
+	t.mu.Unlock()
+	t.End(root)
+}
+
+// Root returns the current round-root span ID (0 when no round is
+// open or the tracer is nil).
+func (t *Tracer) Root() ID {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.root
+}
+
+// Trace returns the current trace ID (0 when none).
+func (t *Tracer) Trace() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.trace
+}
+
+// Inject merges spans recorded by another process (an agent's report)
+// into this tracer's ring, preserving their IDs and timestamps.
+func (t *Tracer) Inject(spans []Span) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, s := range spans {
+		t.push(s)
+	}
+}
+
+// Dropped returns how many spans the ring has evicted.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Spans returns the retained spans oldest-first. Nil tracer → nil.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.spansLocked()
+}
+
+func (t *Tracer) spansLocked() []Span {
+	out := make([]Span, 0, len(t.ring))
+	if len(t.ring) < t.cap {
+		return append(out, t.ring...)
+	}
+	out = append(out, t.ring[t.next:]...)
+	return append(out, t.ring[:t.next]...)
+}
+
+// RoundSpans returns the retained spans belonging to one round
+// (trace == round+1), oldest-first.
+func (t *Tracer) RoundSpans(round int) []Span {
+	if t == nil {
+		return nil
+	}
+	want := uint64(round) + 1
+	var out []Span
+	for _, s := range t.Spans() {
+		if s.Trace == want {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the retained spans as an indented JSON array
+// (oldest-first; `[]` when empty).
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	spans := t.Spans()
+	if spans == nil {
+		spans = []Span{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(spans)
+}
+
+// WriteChromeTrace renders spans in Chrome trace_event JSON (the
+// object form with a traceEvents array), loadable in Perfetto. Each
+// distinct Proc becomes a process row; cross-process parent links
+// become flow arrows.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	return WriteChromeTrace(w, t.Spans())
+}
+
+// chromeEvent is one trace_event entry. Timestamps are microseconds.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   uint32         `json:"pid"`
+	Tid   uint32         `json:"tid"`
+	ID    string         `json:"id,omitempty"`
+	BP    string         `json:"bp,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders an arbitrary span slice as Chrome
+// trace_event JSON. Spans still open (DurNs < 0) render with zero
+// duration.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	events := make([]chromeEvent, 0, len(spans)+8)
+
+	// One metadata event per distinct process, named deterministically.
+	procPid := make(map[string]uint32)
+	var procs []string
+	for _, s := range spans {
+		if _, ok := procPid[s.Proc]; !ok {
+			procPid[s.Proc] = hashProc(s.Proc)
+			procs = append(procs, s.Proc)
+		}
+	}
+	sort.Strings(procs)
+	for _, p := range procs {
+		events = append(events, chromeEvent{
+			Name: "process_name", Phase: "M", Pid: procPid[p],
+			Args: map[string]any{"name": p},
+		})
+	}
+
+	byID := make(map[ID]Span, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	for _, s := range spans {
+		pid := procPid[s.Proc]
+		ts := float64(s.StartNs) / 1e3
+		dur := float64(s.DurNs) / 1e3
+		if s.DurNs < 0 {
+			dur = 0
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name, Phase: "X", Ts: ts, Dur: dur,
+			Pid: pid, Tid: pid,
+			Args: map[string]any{
+				"trace": s.Trace, "round": s.Round, "sim_at": s.SimAt,
+				"span": fmt.Sprintf("%#x", uint64(s.ID)),
+			},
+		})
+		// Cross-process parent → flow arrow from the parent's start
+		// to this span's start.
+		if s.Parent != 0 {
+			if p, ok := byID[s.Parent]; ok && p.Proc != s.Proc {
+				flowID := fmt.Sprintf("%#x", uint64(s.ID))
+				events = append(events, chromeEvent{
+					Name: "dispatch", Phase: "s", Ts: float64(p.StartNs) / 1e3,
+					Pid: procPid[p.Proc], Tid: procPid[p.Proc], ID: flowID,
+				})
+				events = append(events, chromeEvent{
+					Name: "dispatch", Phase: "f", BP: "e", Ts: ts,
+					Pid: pid, Tid: pid, ID: flowID,
+				})
+			}
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{events})
+}

@@ -24,6 +24,8 @@ import (
 	"repro/internal/faults"
 	"repro/internal/gpu"
 	"repro/internal/job"
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/simclock"
 	"repro/internal/workload"
 )
@@ -55,6 +57,12 @@ type Config struct {
 
 	// Logf, when non-nil, receives one progress line per iteration.
 	Logf func(format string, args ...any)
+
+	// Flight, when non-nil, receives one snapshot per simulated round
+	// (through a private Observer) and is dumped with reason
+	// "soak-failure" the moment an iteration breaches the contract, so
+	// the window on disk shows the rounds leading into the breach.
+	Flight *flight.Recorder
 }
 
 const seedStride = 1000003 // prime stride keeps iteration seeds uncorrelated
@@ -207,6 +215,13 @@ func (c Config) iteration(i int) (IterResult, error) {
 		it.Violations = append(it.Violations,
 			fmt.Sprintf("nondeterministic: digest %s != rerun %s", it.Digest[:12], d2[:12]))
 	}
+
+	if len(it.Violations) > 0 && c.Flight != nil {
+		detail := fmt.Sprintf("iter %d seed %d: %s", i, seed, strings.Join(it.Violations, "; "))
+		if err := c.Flight.Dump("soak-failure", detail); err != nil && c.Logf != nil {
+			c.Logf("flight dump failed: %v", err)
+		}
+	}
 	return it, nil
 }
 
@@ -239,6 +254,12 @@ func (c Config) runOnce(seed int64) (*core.Result, error) {
 		Specs:   c.specs(seed),
 		Seed:    seed,
 		Audit:   core.AuditStrict,
+		Flight:  c.Flight,
+		// The snapshot feed needs an Observer; one per run keeps the
+		// recorder wired without leaking metrics anywhere. Observation
+		// is read-only, so the determinism contract (contract 5) still
+		// holds with it attached.
+		Obs: obsFor(c.Flight),
 		Faults: &faults.Config{
 			ServerMTBFHours:        10,
 			ServerOutageMeanHours:  0.5,
@@ -260,6 +281,15 @@ func (c Config) runOnce(seed int64) (*core.Result, error) {
 		return nil, err
 	}
 	return sim.Run(simclock.Time(c.Hours * simclock.Hour))
+}
+
+// obsFor returns a fresh Observer when a flight recorder needs its
+// snapshot feed, nil otherwise (the common, observer-free soak).
+func obsFor(rec *flight.Recorder) *obs.Observer {
+	if rec == nil {
+		return nil
+	}
+	return obs.New()
 }
 
 // digest renders the run outcome in a canonical text form (sorted

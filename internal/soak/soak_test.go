@@ -1,8 +1,11 @@
 package soak
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs/flight"
 )
 
 // TestSoakShortClean runs a short seeded soak end to end: every
@@ -67,5 +70,33 @@ func TestSoakDetectsShareBandBreach(t *testing.T) {
 	if !found {
 		t.Errorf("band breach not reported as share-error violation: %v",
 			rep.Iters[0].Violations)
+	}
+}
+
+// TestSoakDumpsFlightOnBreach pins the soak→flight trigger: a
+// contract breach with a recorder armed leaves a parseable dump with
+// reason "soak-failure" and the rounds leading into the breach.
+func TestSoakDumpsFlightOnBreach(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flight.json")
+	rec := flight.New(8, path)
+	rep, err := RunSoak(Config{Seed: 42, Iters: 1, Hours: 4, ShareBand: 1e-9, Flight: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Fatal("1e-9 share band not tripped")
+	}
+	d, err := flight.ReadDump(path)
+	if err != nil {
+		t.Fatalf("breach left no parseable dump: %v", err)
+	}
+	if d.Reason != "soak-failure" {
+		t.Errorf("dump reason = %q, want soak-failure", d.Reason)
+	}
+	if !strings.Contains(d.Detail, "share error") {
+		t.Errorf("dump detail %q does not name the violation", d.Detail)
+	}
+	if len(d.Rounds) == 0 {
+		t.Error("dump carries no rounds")
 	}
 }

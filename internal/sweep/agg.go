@@ -1,10 +1,12 @@
 package sweep
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/obs"
@@ -12,8 +14,8 @@ import (
 
 // Dist summarizes a sample with the quantiles the sweep reports.
 type Dist struct {
-	N                        int
-	Mean, P50, P99, Min, Max float64
+	N                             int
+	Mean, P50, P95, P99, Min, Max float64
 }
 
 // DistOf computes a Dist over xs (not modified). Empty input returns
@@ -33,6 +35,7 @@ func DistOf(xs []float64) Dist {
 		N:    len(s),
 		Mean: sum / float64(len(s)),
 		P50:  quantile(s, 0.5),
+		P95:  quantile(s, 0.95),
 		P99:  quantile(s, 0.99),
 		Min:  s[0],
 		Max:  s[len(s)-1],
@@ -73,6 +76,14 @@ type GroupSummary struct {
 	Migrations    Dist
 	Trades        Dist
 
+	// RhoMax distributes each run's worst-user finish-time fairness ρ
+	// (Themis: JCT over an ideal 1/n-cluster run; 1.0 is perfectly
+	// fair, higher is worse) across seeds. Makespan distributes each
+	// run's last-finish time in seconds. Runs where no job finished
+	// contribute zeros.
+	RhoMax   Dist
+	Makespan Dist
+
 	// AuditViolations totals invariant violations across runs (always
 	// zero under strict audit, which fails the run instead). Audited
 	// counts the runs that produced an audit report at all, so "no
@@ -98,6 +109,7 @@ func Summarize(results []RunResult) *Summary {
 	type acc struct {
 		g                                       GroupSummary
 		jcts, fin, shareErr, util, migs, trades []float64
+		rhoMax, makespan                        []float64
 		phases                                  map[string][]float64
 	}
 	var order []string
@@ -121,6 +133,8 @@ func Summarize(results []RunResult) *Summary {
 		a.util = append(a.util, res.Utilization.Fraction())
 		a.migs = append(a.migs, float64(res.Migrations))
 		a.trades = append(a.trades, float64(res.TradeCount))
+		a.rhoMax = append(a.rhoMax, res.SLO.RhoMax)
+		a.makespan = append(a.makespan, res.SLO.MakespanSeconds)
 		if res.Audit != nil {
 			a.g.Audited++
 			a.g.AuditViolations += res.Audit.Total()
@@ -143,6 +157,8 @@ func Summarize(results []RunResult) *Summary {
 		a.g.Utilization = DistOf(a.util)
 		a.g.Migrations = DistOf(a.migs)
 		a.g.Trades = DistOf(a.trades)
+		a.g.RhoMax = DistOf(a.rhoMax)
+		a.g.Makespan = DistOf(a.makespan)
 		if a.phases != nil {
 			a.g.PhaseMsPerRound = make(map[string]Dist, len(a.phases))
 			for p, xs := range a.phases {
@@ -177,7 +193,7 @@ func (s *Summary) phaseCols() []string {
 // "<phase> ms" column per observed scheduler phase (mean wall-clock
 // milliseconds per round).
 func (s *Summary) Render(w io.Writer) error {
-	cols := []string{"group", "runs", "errs", "finished", "JCT mean h", "JCT p50 h", "JCT p99 h", "share err", "util", "audit"}
+	cols := []string{"group", "runs", "errs", "finished", "JCT mean h", "JCT p50 h", "JCT p99 h", "rho max", "makespan h", "share err", "util", "audit"}
 	phases := s.phaseCols()
 	for _, p := range phases {
 		cols = append(cols, p+" ms")
@@ -199,6 +215,8 @@ func (s *Summary) Render(w io.Writer) error {
 			fmt.Sprintf("%.2f", g.JCT.Mean/3600),
 			fmt.Sprintf("%.2f", g.JCT.P50/3600),
 			fmt.Sprintf("%.2f", g.JCT.P99/3600),
+			fmt.Sprintf("%.2f", g.RhoMax.Mean),
+			fmt.Sprintf("%.2f", g.Makespan.Mean/3600),
 			fmt.Sprintf("%.1f%%", 100*g.MaxShareError.Mean),
 			fmt.Sprintf("%.1f%%", 100*g.Utilization.Mean),
 			audit,
@@ -243,4 +261,54 @@ func (s *Summary) Render(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// WriteCSV writes the summary machine-readably, one row per group.
+// Times are seconds (not the table's hours) so downstream analysis
+// never re-derives units; ratios are raw fractions. Profiled sweeps
+// append one phase_<name>_ms column per observed phase in canonical
+// order.
+func (s *Summary) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"group", "runs", "errors", "finished_mean",
+		"jct_mean_s", "jct_p50_s", "jct_p95_s", "jct_p99_s",
+		"rho_max_mean", "rho_max_worst", "makespan_mean_s",
+		"share_err_mean", "util_mean",
+		"migrations_mean", "trades_mean", "audit_violations",
+	}
+	phases := s.phaseCols()
+	for _, p := range phases {
+		header = append(header, "phase_"+p+"_ms")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, g := range s.Groups {
+		row := []string{
+			g.Group,
+			strconv.Itoa(g.Runs),
+			strconv.Itoa(g.Errors),
+			f(g.FinishedJobs.Mean),
+			f(g.JCT.Mean), f(g.JCT.P50), f(g.JCT.P95), f(g.JCT.P99),
+			f(g.RhoMax.Mean), f(g.RhoMax.Max), f(g.Makespan.Mean),
+			f(g.MaxShareError.Mean), f(g.Utilization.Mean),
+			f(g.Migrations.Mean), f(g.Trades.Mean),
+			strconv.Itoa(g.AuditViolations),
+		}
+		for _, p := range phases {
+			d, ok := g.PhaseMsPerRound[p]
+			if !ok {
+				row = append(row, "")
+				continue
+			}
+			row = append(row, f(d.Mean))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }

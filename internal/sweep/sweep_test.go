@@ -2,8 +2,10 @@ package sweep
 
 import (
 	"context"
+	"encoding/csv"
 	"fmt"
 	"math"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -286,5 +288,54 @@ func TestProfileAddsPhaseColumns(t *testing.T) {
 	g := Summarize(prof).Groups[0]
 	if g.PhaseMsPerRound == nil || g.PhaseMsPerRound["execute"].N != 3 {
 		t.Errorf("phase dist not aggregated across runs: %+v", g.PhaseMsPerRound)
+	}
+}
+
+// TestSummarizeSLOAndCSV pins the fairness-SLO aggregation (ρ,
+// makespan) and the machine-readable CSV export: every run carries a
+// finite positive worst-user ρ (underloaded clusters can beat the
+// 1/n ideal, so ρ < 1 is legitimate) and a positive makespan, and the CSV grows
+// one row per group under a stable header.
+func TestSummarizeSLOAndCSV(t *testing.T) {
+	results := Run(context.Background(), testPoints(3), Options{})
+	sum := Summarize(results)
+	g := sum.Groups[0]
+	if g.RhoMax.N != 3 || g.RhoMax.Mean <= 0 || math.IsInf(g.RhoMax.Mean, 0) {
+		t.Errorf("rho max dist malformed: %+v", g.RhoMax)
+	}
+	if g.Makespan.N != 3 || g.Makespan.Mean <= 0 {
+		t.Errorf("makespan dist malformed: %+v", g.Makespan)
+	}
+	if g.JCT.P50 > g.JCT.P95 || g.JCT.P95 > g.JCT.P99 {
+		t.Errorf("JCT quantiles out of order: %+v", g.JCT)
+	}
+
+	var b strings.Builder
+	if err := sum.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("summary CSV not parseable: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want header + 1 group", len(rows))
+	}
+	want := []string{"group", "runs", "errors", "finished_mean",
+		"jct_mean_s", "jct_p50_s", "jct_p95_s", "jct_p99_s",
+		"rho_max_mean", "rho_max_worst", "makespan_mean_s",
+		"share_err_mean", "util_mean", "migrations_mean", "trades_mean",
+		"audit_violations"}
+	for i, col := range want {
+		if rows[0][i] != col {
+			t.Fatalf("header[%d] = %q, want %q", i, rows[0][i], col)
+		}
+	}
+	if rows[1][0] != "fair" {
+		t.Errorf("group cell = %q", rows[1][0])
+	}
+	rho, err := strconv.ParseFloat(rows[1][8], 64)
+	if err != nil || rho <= 0 {
+		t.Errorf("rho_max_mean cell %q bad (err %v)", rows[1][8], err)
 	}
 }

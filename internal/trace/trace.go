@@ -160,3 +160,55 @@ func (l *Log) WriteJSON(w io.Writer) error {
 	}
 	return nil
 }
+
+// ReadCSV parses a stream written by WriteCSV. The header row is
+// required and checked, so a workload CSV fed in by mistake fails
+// loudly instead of half-parsing.
+func ReadCSV(r io.Reader) ([]Event, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 5
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	want := []string{"at_seconds", "kind", "job", "user", "detail"}
+	for i, col := range want {
+		if header[i] != col {
+			return nil, fmt.Errorf("trace: header column %d is %q, want %q", i, header[i], col)
+		}
+	}
+	var events []Event
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return events, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		at, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad at_seconds %q: %w", rec[0], err)
+		}
+		id, err := strconv.ParseInt(rec[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad job id %q: %w", rec[2], err)
+		}
+		events = append(events, Event{
+			At:     simclock.Time(at),
+			Kind:   Kind(rec[1]),
+			Job:    job.ID(id),
+			User:   job.UserID(rec[3]),
+			Detail: rec[4],
+		})
+	}
+}
+
+// ReadJSON parses a stream written by WriteJSON.
+func ReadJSON(r io.Reader) ([]Event, error) {
+	var events []Event
+	if err := json.NewDecoder(r).Decode(&events); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return events, nil
+}
