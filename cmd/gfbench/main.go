@@ -33,11 +33,12 @@ func main() {
 		check     = flag.Bool("check", false, "with -ledger: gate fresh measurements against the committed ledger; exit 1 on regression")
 		update    = flag.Bool("update", false, "with -ledger: rewrite the committed ledger from fresh measurements")
 		tol       = flag.Float64("tol", 0.15, "with -ledger -check: tolerated fractional regression")
+		allocCap  = flag.Float64("alloc-cap", 0, "with -ledger -check: absolute ceiling on base allocs/round at the largest-GPU row (0 disables)")
 	)
 	flag.Parse()
 
 	if *ledger {
-		if err := ledgerMain(*ledgerOut, *seed, *update, *check, *tol); err != nil {
+		if err := ledgerMain(*ledgerOut, *seed, *update, *check, *tol, *allocCap); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/job"
+	"repro/internal/simclock"
+	"repro/internal/workload"
+)
+
+// strandScenario is a deterministic two-user debt generator: alice and
+// bob each pin one gang-2 job to their own 2-GPU server (migration
+// disabled), and declared outages strand them. The zero-valued fault
+// config enables compensation bookkeeping without any probabilistic
+// fault; DisableCompensation on the policy freezes the books so the
+// accrual itself can be asserted exactly.
+func strandScenario(aliceHours float64, failures []Failure) Config {
+	specs := workload.BatchJobs("alice", zoo.MustGet("lstm"), 1, 2, aliceHours)
+	specs = append(specs, workload.BatchJobs("bob", zoo.MustGet("gru"), 1, 2, 1e6)...)
+	specs, _ = workload.AssignIDs(specs)
+	return Config{
+		Cluster:          k80Cluster(2, 2),
+		Specs:            specs,
+		Seed:             3,
+		DisableMigration: true,
+		Faults:           &faults.Config{},
+		Failures:         failures,
+	}
+}
+
+// TestDepartureMidDrainForgivesDebt pins the departure-forgiveness
+// path of settleCompensation: a user whose jobs have all left the
+// system must have their outstanding compensation debt forgiven — not
+// carried forever, where it would poison the monotone-drain audit for
+// a later user of the same name — and the strict auditor must accept
+// every round of the bookkeeping on the way.
+func TestDepartureMidDrainForgivesDebt(t *testing.T) {
+	outage := []Failure{{Server: 0, At: simclock.Time(simclock.Hour), Duration: simclock.Hour}}
+
+	// Horizon inside the outage: alice is mid-strand, debt open. (Her
+	// job is sized to outlive the outage start but finish well before
+	// the full horizon: 4 standalone-K80 hours across a gang of 2.)
+	mid := runFair(t, strandScenario(4, outage),
+		FairConfig{DisableCompensation: true}, simclock.Time(1.5*simclock.Hour))
+	if !mid.Audit.Clean() {
+		t.Fatalf("audit: %s", mid.Audit.Summary())
+	}
+	if d := mid.CompDeficitByUser["alice"]; d <= 0 {
+		t.Fatalf("stranded alice accrued no debt (deficit %v)", d)
+	}
+
+	// Full horizon: alice's job finishes after the server recovers and
+	// she departs mid-drain (the policy never repays here). Her debt
+	// must be forgiven, bob's books untouched.
+	end := runFair(t, strandScenario(4, outage),
+		FairConfig{DisableCompensation: true}, simclock.Time(simclock.Day))
+	if !end.Audit.Clean() {
+		t.Fatalf("audit: %s", end.Audit.Summary())
+	}
+	if len(end.Finished) != 1 || end.Finished[0].User != "alice" {
+		t.Fatalf("alice's job did not finish: %d finished", len(end.Finished))
+	}
+	if d, ok := end.CompDeficitByUser["alice"]; ok {
+		t.Errorf("departed alice still owed %v GPU-s; want entry forgiven", d)
+	}
+	if end.CompRepaidGPUSeconds != 0 {
+		t.Errorf("uncompensated run repaid %v GPU-s", end.CompRepaidGPUSeconds)
+	}
+}
+
+// TestZeroCapacityFreezesBooks drives the cluster's capacity to zero
+// (every server down) with debt already on the books. With no capacity
+// there is no fair entitlement, so the blackout rounds must neither
+// accrue new debt (the loss cap is the share shortfall, which is zero)
+// nor drain any (no occupancy can materialize) — the books are frozen
+// bit for bit, whether or not the policy is compensating, and the
+// strict auditor stays clean throughout.
+func TestZeroCapacityFreezesBooks(t *testing.T) {
+	failures := []Failure{
+		// Phase 1: strand alice only — her debt accrues.
+		{Server: 0, At: simclock.Time(simclock.Hour), Duration: simclock.Hour},
+		// Phase 2: total blackout.
+		{Server: 0, At: simclock.Time(3 * simclock.Hour), Duration: simclock.Hour},
+		{Server: 1, At: simclock.Time(3 * simclock.Hour), Duration: simclock.Hour},
+	}
+	for _, fc := range []FairConfig{{DisableCompensation: true}, {}} {
+		pre := runFair(t, strandScenario(1e6, failures), fc, simclock.Time(3*simclock.Hour))
+		post := runFair(t, strandScenario(1e6, failures), fc, simclock.Time(4*simclock.Hour))
+		for _, r := range []*Result{pre, post} {
+			if !r.Audit.Clean() {
+				t.Fatalf("audit (comp=%v): %s", !fc.DisableCompensation, r.Audit.Summary())
+			}
+		}
+		if d := pre.CompDeficitByUser["alice"]; d <= 0 {
+			t.Fatalf("no debt on the books before the blackout (comp=%v)", !fc.DisableCompensation)
+		}
+		users := make(map[string]bool)
+		for u := range pre.CompDeficitByUser {
+			users[string(u)] = true
+		}
+		for u := range post.CompDeficitByUser {
+			users[string(u)] = true
+		}
+		for u := range users {
+			before := pre.CompDeficitByUser[job.UserID(u)]
+			after := post.CompDeficitByUser[job.UserID(u)]
+			if math.Abs(before-after) > 1e-9 {
+				t.Errorf("blackout moved user %s's deficit: %v -> %v (comp=%v)",
+					u, before, after, !fc.DisableCompensation)
+			}
+		}
+		if math.Abs(pre.CompRepaidGPUSeconds-post.CompRepaidGPUSeconds) > 1e-9 {
+			t.Errorf("blackout drained debt: repaid %v -> %v (comp=%v)",
+				pre.CompRepaidGPUSeconds, post.CompRepaidGPUSeconds, !fc.DisableCompensation)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/job"
+)
+
+// CanonicalDigest renders a run outcome in a canonical text form
+// (sorted users, fixed float formatting) and hashes it with SHA-256.
+// Two runs of the same seed must produce identical digests — this is
+// the engine's reproducibility contract, shared by the soak harness
+// (internal/soak) and the rescan-vs-incremental differential tests.
+//
+// The digest covers counters first (rounds, trace events, finishes,
+// migrations, fault statistics), then every user's occupied / fair /
+// useful GPU-seconds and outstanding compensation deficit at %.6f.
+// Because per-user floats are accumulated in sorted order inside the
+// engine, equal digests mean bitwise-equal accumulation histories,
+// not just nearby totals.
+func CanonicalDigest(res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rounds=%d events=%d finished=%d unfinished=%d migrations=%d\n",
+		res.Rounds, res.Log.Len(), len(res.Finished), res.Unfinished, res.Migrations)
+	fmt.Fprintf(&b, "crashes=%d migfail=%d quarantines=%d repaid=%.6f\n",
+		res.Crashes, res.MigrationFailures, res.Quarantines, res.CompRepaidGPUSeconds)
+
+	users := make(map[job.UserID]bool)
+	occ := res.TotalUsageByUser()
+	for u := range occ {
+		users[u] = true
+	}
+	for u := range res.FairUsageByUser {
+		users[u] = true
+	}
+	for u := range res.CompDeficitByUser {
+		users[u] = true
+	}
+	sorted := make([]job.UserID, 0, len(users))
+	for u := range users {
+		sorted = append(sorted, u)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, u := range sorted {
+		fmt.Fprintf(&b, "user=%s occ=%.6f fair=%.6f useful=%.6f deficit=%.6f\n",
+			u, occ[u], res.FairUsageByUser[u], res.UsefulByUser[u], res.CompDeficitByUser[u])
+	}
+	return fmt.Sprintf("%x", sha256.Sum256([]byte(b.String())))
+}

@@ -1,0 +1,55 @@
+package core
+
+import "fmt"
+
+// EngineMode selects the round-loop implementation.
+//
+// The two engines are contractually byte-identical: for any fixed
+// config and seed they produce the same trace, the same per-user
+// usage, and the same CanonicalDigest. The incremental engine is the
+// default because it is asymptotically cheaper (free-capacity indices
+// in placement, a memoizing water-fill solver, event-cursor fault
+// sweeps); the rescan engine recomputes everything from scratch each
+// round and is kept as the differential-testing oracle — see
+// TestDifferentialEngines and DESIGN.md §8.
+type EngineMode int
+
+const (
+	// EngineIncremental (the zero value, hence the default) drives
+	// the round loop off maintained incremental indices.
+	EngineIncremental EngineMode = iota
+
+	// EngineRescan is the legacy full-rescan loop: placement scans
+	// every server, fair share re-solves every round, job lists are
+	// rebuilt and re-sorted from the active map.
+	EngineRescan
+)
+
+// String implements fmt.Stringer.
+func (m EngineMode) String() string {
+	switch m {
+	case EngineIncremental:
+		return "incremental"
+	case EngineRescan:
+		return "rescan"
+	default:
+		return fmt.Sprintf("EngineMode(%d)", int(m))
+	}
+}
+
+// ParseEngineMode parses the -engine flag / scenario "engine" field.
+// The empty string means the default (incremental).
+func ParseEngineMode(s string) (EngineMode, error) {
+	switch s {
+	case "", "incremental":
+		return EngineIncremental, nil
+	case "rescan":
+		return EngineRescan, nil
+	default:
+		return 0, fmt.Errorf("core: unknown engine mode %q (want incremental or rescan)", s)
+	}
+}
+
+func (m EngineMode) valid() bool {
+	return m == EngineIncremental || m == EngineRescan
+}

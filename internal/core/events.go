@@ -1,0 +1,110 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/job"
+	"repro/internal/simclock"
+)
+
+// eventCursor is the engine's event queue: the time-ordered external
+// event streams (job arrivals, operator ticket changes) behind
+// monotone pop cursors. Both streams are sorted once at construction,
+// so advancing to a round's timestamp costs O(1) per event popped —
+// strictly better than the O(log n) a heap would give, because the
+// streams are known ahead of time and never receive out-of-order
+// inserts. Fault transitions, the third external stream, live in
+// faults.Sweep, which keeps its own sorted boundary list (see
+// Sweep.NextAt); the three cursors together mean a round's event
+// processing never scans a whole stream.
+//
+// Idle-quantum skipping (Sim.Run) deliberately wakes only for the
+// next ARRIVAL, not for ticket changes or fault transitions: with no
+// active jobs there is nothing to schedule, charge, or crash, so
+// those events are observationally idempotent until the next arrival
+// — applying them at the first round after the gap produces
+// byte-identical output to running empty rounds through them. The
+// cursors make that catch-up O(events in the gap), not O(rounds
+// skipped).
+type eventCursor struct {
+	specs    []job.Spec // sorted by arrival, stable
+	nextSpec int
+
+	changes    []TicketChange // sorted by At, stable
+	nextChange int
+}
+
+// newEventCursor copies and stably sorts both streams (stability
+// preserves config order among equal timestamps — part of the seed
+// contract, since admission order decides job processing order).
+func newEventCursor(specs []job.Spec, changes []TicketChange) *eventCursor {
+	e := &eventCursor{
+		specs:   make([]job.Spec, len(specs)),
+		changes: make([]TicketChange, len(changes)),
+	}
+	copy(e.specs, specs)
+	sort.SliceStable(e.specs, func(i, j int) bool {
+		return e.specs[i].Arrival < e.specs[j].Arrival
+	})
+	copy(e.changes, changes)
+	sort.SliceStable(e.changes, func(i, j int) bool { return e.changes[i].At < e.changes[j].At })
+	return e
+}
+
+// nextArrival returns the next unadmitted job's arrival time.
+func (e *eventCursor) nextArrival() (simclock.Time, bool) {
+	if e.nextSpec >= len(e.specs) {
+		return 0, false
+	}
+	return e.specs[e.nextSpec].Arrival, true
+}
+
+// popArrivalsDue hands every spec with Arrival ≤ now to fn, in
+// arrival order, advancing the cursor past them.
+func (e *eventCursor) popArrivalsDue(now simclock.Time, fn func(job.Spec)) {
+	for e.nextSpec < len(e.specs) && e.specs[e.nextSpec].Arrival <= now {
+		fn(e.specs[e.nextSpec])
+		e.nextSpec++
+	}
+}
+
+// popTicketsDue hands every ticket change with At ≤ now to fn, in
+// time order, advancing the cursor past them.
+func (e *eventCursor) popTicketsDue(now simclock.Time, fn func(TicketChange)) {
+	for e.nextChange < len(e.changes) && e.changes[e.nextChange].At <= now {
+		fn(e.changes[e.nextChange])
+		e.nextChange++
+	}
+}
+
+// pendingCount is the number of jobs not yet admitted.
+func (e *eventCursor) pendingCount() int {
+	return len(e.specs) - e.nextSpec
+}
+
+// forEachPendingUser visits the user of every unadmitted job (with
+// repeats), for departure-forgiveness presence checks.
+func (e *eventCursor) forEachPendingUser(fn func(job.UserID)) {
+	for i := e.nextSpec; i < len(e.specs); i++ {
+		fn(e.specs[i].User)
+	}
+}
+
+// insertSortedID inserts id into the sorted slice, keeping it sorted.
+func insertSortedID(ids []job.ID, id job.ID) []job.ID {
+	i := sort.Search(len(ids), func(k int) bool { return ids[k] >= id })
+	ids = append(ids, 0)
+	copy(ids[i+1:], ids[i:])
+	ids[i] = id
+	return ids
+}
+
+// removeSortedID removes id from the sorted slice (no-op when
+// absent).
+func removeSortedID(ids []job.ID, id job.ID) []job.ID {
+	i := sort.Search(len(ids), func(k int) bool { return ids[k] >= id })
+	if i >= len(ids) || ids[i] != id {
+		return ids
+	}
+	return append(ids[:i], ids[i+1:]...)
+}

@@ -90,6 +90,11 @@ type FairPolicy struct {
 	// pending maps jobs scheduled this round to their charging info,
 	// consumed by Executed.
 	pending map[job.ID]chargeInfo
+
+	// waterfill memoizes the non-debt water-fill across rounds: most
+	// rounds repeat the previous round's tickets/demand/capacity, so
+	// the solve — and its map churn — amortizes away.
+	waterfill *fairshare.AllocationSolver
 }
 
 type chargeInfo struct {
@@ -131,6 +136,7 @@ func NewFairPolicy(cfg FairConfig) (*FairPolicy, error) {
 		jobUser:   make(map[job.ID]job.UserID),
 		lastMig:   make(map[job.ID]int),
 		pending:   make(map[job.ID]chargeInfo),
+		waterfill: fairshare.NewAllocationSolver(),
 	}, nil
 }
 
@@ -171,7 +177,10 @@ func (p *FairPolicy) Decide(st *RoundState) Decision {
 		}
 		jobsPer[u] = len(js)
 	}
-	alloc := fairshare.ComputeAllocation(tickets, demand, caps)
+	// Solve is memoized (fairshare.AllocationSolver); the result is
+	// shared storage, but every consumer below either reads it or
+	// replaces the local variable (trade.Run clones), never mutates.
+	alloc := p.waterfill.Solve(tickets, demand, caps)
 	// Failure compensation: repay users' fault deficits off the top
 	// of the water-fill, before surplus redistribution, so GPU time
 	// lost to faults is restored instead of diluted away.

@@ -404,16 +404,30 @@ func FuzzEngineAudit(f *testing.F) {
 			Faults:        fc,
 			Audit:         AuditStrict,
 		}
-		sim, err := New(cfg, MustNewFairPolicy(FairConfig{EnableTrading: trading}))
-		if err != nil {
-			t.Fatal(err)
+		// Differential: the same recipe runs through both engines; each
+		// must pass the strict auditor AND both must produce the same
+		// canonical digest, so the fuzzer hunts for inputs where the
+		// incremental indices diverge from the rescan oracle.
+		digests := make(map[EngineMode]string, 2)
+		for _, mode := range []EngineMode{EngineIncremental, EngineRescan} {
+			cfg := cfg
+			cfg.Engine = mode
+			sim, err := New(cfg, MustNewFairPolicy(FairConfig{EnableTrading: trading}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.Run(simclock.Time(16 * simclock.Hour))
+			if err != nil {
+				t.Fatalf("strict audit failed (%v): %v", mode, err)
+			}
+			if res.Audit == nil || !res.Audit.Clean() {
+				t.Fatalf("audit not clean (%v): %s", mode, res.Audit.Summary())
+			}
+			digests[mode] = CanonicalDigest(res)
 		}
-		res, err := sim.Run(simclock.Time(16 * simclock.Hour))
-		if err != nil {
-			t.Fatalf("strict audit failed: %v", err)
-		}
-		if res.Audit == nil || !res.Audit.Clean() {
-			t.Fatalf("audit not clean: %s", res.Audit.Summary())
+		if digests[EngineIncremental] != digests[EngineRescan] {
+			t.Fatalf("engine digests diverge:\n  incremental %s\n  rescan      %s",
+				digests[EngineIncremental], digests[EngineRescan])
 		}
 	})
 }

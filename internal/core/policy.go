@@ -28,8 +28,9 @@ type RoundState struct {
 	Quantum simclock.Duration
 	Cluster *gpu.Cluster
 
-	// Jobs lists all runnable (arrived, unfinished) jobs. Policies
-	// must not mutate them.
+	// Jobs lists all runnable (arrived, unfinished) jobs in ID order.
+	// Policies must not mutate them, and must not retain the slice
+	// past Decide — the engine reuses its backing array every round.
 	Jobs []*job.Job
 
 	// Tickets are the per-user fair-share weights.

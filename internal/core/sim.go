@@ -105,6 +105,12 @@ type Config struct {
 
 	// Seed feeds all randomness (profiling noise).
 	Seed int64
+
+	// Engine selects the round-loop implementation. The zero value is
+	// EngineIncremental; EngineRescan keeps the legacy full-rescan
+	// loop for differential testing. Both produce byte-identical
+	// output for the same config and seed.
+	Engine EngineMode
 }
 
 // Failure is one injected server outage.
@@ -209,6 +215,9 @@ func (c Config) Validate() error {
 	}
 	if c.Audit != AuditStrict && c.Audit != AuditCount && c.Audit != AuditOff {
 		return fmt.Errorf("core: invalid audit mode %d", int(c.Audit))
+	}
+	if !c.Engine.valid() {
+		return fmt.Errorf("core: invalid engine mode %d", int(c.Engine))
 	}
 	if c.Faults != nil {
 		if err := c.Faults.Validate(); err != nil {
@@ -371,10 +380,28 @@ type Sim struct {
 	tl      *metrics.Timeline
 	tickets map[job.UserID]float64
 
-	ticketQ  []TicketChange // sorted by At, not yet applied
-	pending  []job.Spec     // sorted by arrival, not yet admitted
+	evq      *eventCursor // arrivals and ticket changes, time-ordered
 	active   map[job.ID]*job.Job
 	finished []*job.Job
+
+	// activeIDs mirrors s.active's key set in sorted order, maintained
+	// on admission and retirement. Every ID-ordered walk in the round
+	// loop (crash draws, RoundState.Jobs, the retirement sweep, the
+	// execute order) reads it instead of rebuilding and re-sorting the
+	// map's keys — same iteration order, no per-round sort.
+	activeIDs []job.ID
+
+	// Incremental-engine state (nil under EngineRescan).
+	incremental bool
+	pidx        *placement.Index      // free-capacity index owned by placement
+	idxUnavail  map[gpu.ServerID]bool // unavail set currently applied to pidx
+	fairSolver  *fairshare.Solver     // dirty-set water-filler for the fairness reference
+
+	// Per-round scratch reused across rounds (contents die at round end).
+	jobsBuf   []*job.Job
+	placedBuf []job.ID
+	retireBuf []job.ID
+	pinBuf    []job.ID
 
 	prev    placement.Assignment
 	prevGen map[job.ID]gpu.Generation
@@ -469,20 +496,22 @@ func New(cfg Config, policy Policy) (*Sim, error) {
 	if cfg.Flight != nil {
 		cfg.Obs.SetSink(cfg.Flight)
 	}
-	s.ticketQ = make([]TicketChange, len(cfg.TicketChanges))
-	copy(s.ticketQ, cfg.TicketChanges)
-	sort.SliceStable(s.ticketQ, func(i, j int) bool { return s.ticketQ[i].At < s.ticketQ[j].At })
-	s.pending = make([]job.Spec, len(cfg.Specs))
-	copy(s.pending, cfg.Specs)
-	sort.SliceStable(s.pending, func(i, j int) bool {
-		return s.pending[i].Arrival < s.pending[j].Arrival
-	})
-	for i := range s.pending {
-		u := s.pending[i].User
+	s.evq = newEventCursor(cfg.Specs, cfg.TicketChanges)
+	for i := range cfg.Specs {
+		u := cfg.Specs[i].User
 		if t, ok := cfg.Tickets[u]; ok {
 			s.tickets[u] = t
 		} else {
 			s.tickets[u] = 1
+		}
+	}
+	s.incremental = cfg.Engine == EngineIncremental
+	if s.incremental {
+		s.pidx = placement.NewIndex(cfg.Cluster)
+		s.idxUnavail = make(map[gpu.ServerID]bool)
+		s.fairSolver = fairshare.NewSolver()
+		for _, u := range job.SortedUsers(s.tickets) {
+			s.fairSolver.SetTickets(u, s.tickets[u])
 		}
 	}
 	return s, nil
@@ -517,12 +546,15 @@ func (s *Sim) Run(until simclock.Time) (res *Result, err error) {
 	}
 	for s.clock.Now() < until {
 		if len(s.active) == 0 {
-			if len(s.pending) == 0 {
+			// Fast-forward idle gaps to the next arrival, aligned to
+			// the quantum grid so rounds stay comparable. Waking only
+			// for arrivals is sound: with nothing active, ticket and
+			// fault events are observationally idempotent until then
+			// (see eventCursor).
+			next, ok := s.evq.nextArrival()
+			if !ok {
 				break // all done
 			}
-			// Fast-forward idle gaps to the next arrival, aligned to
-			// the quantum grid so rounds stay comparable.
-			next := s.pending[0].Arrival
 			if next >= until {
 				break
 			}
@@ -550,17 +582,19 @@ func (s *Sim) Run(until simclock.Time) (res *Result, err error) {
 
 func (s *Sim) admitArrivals() {
 	now := s.clock.Now()
-	for len(s.pending) > 0 && s.pending[0].Arrival <= now {
-		spec := s.pending[0]
-		s.pending = s.pending[1:]
+	s.evq.popArrivalsDue(now, func(spec job.Spec) {
 		j, err := job.New(spec)
 		if err != nil {
 			panic(fmt.Sprintf("core: validated spec rejected: %v", err)) // unreachable
 		}
 		s.active[j.ID] = j
+		s.activeIDs = insertSortedID(s.activeIDs, j.ID)
+		if s.fairSolver != nil {
+			s.fairSolver.AddDemand(j.User, float64(j.Gang))
+		}
 		s.log.Add(spec.Arrival, trace.KindArrival, j.ID, j.User,
 			fmt.Sprintf("model=%s gang=%d", spec.Perf.Model, spec.Gang))
-	}
+	})
 }
 
 // runRound executes one scheduling quantum.
@@ -568,11 +602,12 @@ func (s *Sim) runRound() error {
 	now := s.clock.Now()
 	s.rounds++
 	s.obs.BeginRound(s.rounds, float64(now))
-	for len(s.ticketQ) > 0 && s.ticketQ[0].At <= now {
-		tc := s.ticketQ[0]
-		s.ticketQ = s.ticketQ[1:]
+	s.evq.popTicketsDue(now, func(tc TicketChange) {
 		s.tickets[tc.User] = tc.Tickets
-	}
+		if s.fairSolver != nil {
+			s.fairSolver.SetTickets(tc.User, tc.Tickets)
+		}
+	})
 	s.obs.PhaseStart(obs.PhaseFaultSweep)
 	down := s.updateFaultState(now)
 	quar := s.breaker.Set()
@@ -597,7 +632,7 @@ func (s *Sim) runRound() error {
 	if s.faultsOn {
 		faultLoss = make(map[job.UserID]float64)
 		roundOcc = make(map[job.UserID]float64)
-		for _, id := range sortedJobIDs(s.active) {
+		for _, id := range s.activeIDs {
 			j := s.active[id]
 			if j.Finished() || !j.RanLastQuantum() {
 				continue
@@ -626,7 +661,8 @@ func (s *Sim) runRound() error {
 	var pinned map[job.ID]bool
 	if len(s.pinnedUntil) > 0 {
 		pinned = make(map[job.ID]bool, len(s.pinnedUntil))
-		for _, id := range sortedJobIDsInt(s.pinnedUntil) {
+		s.pinBuf = sortedJobIDsInt(s.pinnedUntil, s.pinBuf)
+		for _, id := range s.pinBuf {
 			if s.rounds > s.pinnedUntil[id] {
 				delete(s.pinnedUntil, id)
 				continue
@@ -635,11 +671,15 @@ func (s *Sim) runRound() error {
 		}
 	}
 
+	s.jobsBuf = s.jobsBuf[:0]
+	for _, id := range s.activeIDs {
+		s.jobsBuf = append(s.jobsBuf, s.active[id])
+	}
 	st := &RoundState{
 		Now:     now,
 		Quantum: s.cfg.Quantum,
 		Cluster: s.cfg.Cluster,
-		Jobs:    s.runnableJobs(),
+		Jobs:    s.jobsBuf,
 		Tickets: s.tickets,
 		Prof:    s.prof,
 		PrevGen: s.prevGen,
@@ -660,19 +700,30 @@ func (s *Sim) runRound() error {
 	// water-filled over the capacity actually available (failed
 	// servers excluded).
 	s.obs.PhaseStart(obs.PhaseWaterfill)
-	demand := make(map[job.UserID]float64)
-	for _, j := range st.Jobs {
-		demand[j.User] += float64(j.Gang)
-	}
 	availTotal := 0.0
 	for _, g := range gpu.Generations() {
 		availTotal += float64(capNow[g])
 	}
+	var shares map[job.UserID]float64
+	if s.incremental {
+		// Demand was maintained exactly at admission/retirement time and
+		// tickets at change-application time; only capacity can still
+		// have moved. The solver re-solves only when something really
+		// changed — most rounds return the memoized water-fill.
+		s.fairSolver.SetCapacity(availTotal)
+		shares = s.fairSolver.Shares()
+	} else {
+		demand := make(map[job.UserID]float64)
+		for _, j := range st.Jobs {
+			demand[j.User] += float64(j.Gang)
+		}
+		shares = fairshare.Compute(s.tickets, demand, availTotal)
+	}
 	var roundFair map[job.UserID]float64
 	if s.faultsOn {
-		roundFair = make(map[job.UserID]float64, len(demand))
+		roundFair = make(map[job.UserID]float64, len(shares))
 	}
-	for u, sh := range fairshare.Compute(s.tickets, demand, availTotal) {
+	for u, sh := range shares {
 		s.fairUsage[u] += sh * s.cfg.Quantum
 		if roundFair != nil {
 			roundFair[u] = sh * s.cfg.Quantum
@@ -696,8 +747,17 @@ func (s *Sim) runRound() error {
 	}
 
 	s.obs.PhaseStart(obs.PhasePlacement)
-	res := placement.Place(s.cfg.Cluster, s.prev, dec.Run,
-		placement.Options{AllowMigration: !s.cfg.DisableMigration, Down: unavail, Pinned: pinned})
+	var res placement.Result
+	if s.incremental {
+		// The index carries availability as baseline state; feed it the
+		// delta against last round instead of passing the full down set.
+		s.syncIndexAvail(unavail)
+		res = placement.PlaceIndexed(s.pidx, s.prev, dec.Run,
+			placement.Options{AllowMigration: !s.cfg.DisableMigration, Pinned: pinned})
+	} else {
+		res = placement.Place(s.cfg.Cluster, s.prev, dec.Run,
+			placement.Options{AllowMigration: !s.cfg.DisableMigration, Down: unavail, Pinned: pinned})
+	}
 	if err := placement.Validate(s.cfg.Cluster, res.Assignment); err != nil {
 		return fmt.Errorf("core: round %d: %w", s.rounds, err)
 	}
@@ -768,19 +828,26 @@ func (s *Sim) runRound() error {
 	// consumes draws from the shared profiling RNG, so the processing
 	// order decides which job sees which noise sample. Map iteration
 	// order varies between processes and would make runs with the same
-	// seed diverge.
-	placed := make([]job.ID, 0, len(res.Assignment))
-	for id := range res.Assignment {
-		placed = append(placed, id)
+	// seed diverge. activeIDs is already sorted; filtering it against
+	// the assignment yields the same order a fresh sort would.
+	placed := s.placedBuf[:0]
+	for _, id := range s.activeIDs {
+		if _, ok := res.Assignment[id]; ok {
+			placed = append(placed, id)
+		}
 	}
-	sort.Slice(placed, func(i, j int) bool { return placed[i] < placed[j] })
+	s.placedBuf = placed
+	if len(placed) != len(res.Assignment) {
+		for id := range res.Assignment {
+			if s.active[id] == nil {
+				return fmt.Errorf("core: placement returned unknown job %d", id)
+			}
+		}
+	}
 	s.obs.PhaseStart(obs.PhaseExecute)
 	for _, id := range placed {
 		devs := res.Assignment[id]
 		j := s.active[id]
-		if j == nil {
-			return fmt.Errorf("core: placement returned unknown job %d", id)
-		}
 		gen := s.cfg.Cluster.Device(devs[0]).Gen
 		if s.obs != nil {
 			fromGen := ""
@@ -810,12 +877,9 @@ func (s *Sim) runRound() error {
 	// ones. Walk jobs in ID order, not map order: retirement appends
 	// finish events to the trace, and map iteration would let two jobs
 	// finishing in the same round swap log positions between runs.
-	activeIDs := make([]job.ID, 0, len(s.active))
-	for id := range s.active {
-		activeIDs = append(activeIDs, id)
-	}
-	sort.Slice(activeIDs, func(i, j int) bool { return activeIDs[i] < activeIDs[j] })
-	for _, id := range activeIDs {
+	// Iterate a snapshot — retirement mutates activeIDs itself.
+	s.retireBuf = append(s.retireBuf[:0], s.activeIDs...)
+	for _, id := range s.retireBuf {
 		j := s.active[id]
 		if j.Finished() {
 			s.finished = append(s.finished, j)
@@ -825,6 +889,10 @@ func (s *Sim) runRound() error {
 			s.policy.JobFinished(id)
 			s.prof.Remove(id)
 			delete(s.active, id)
+			s.activeIDs = removeSortedID(s.activeIDs, id)
+			if s.fairSolver != nil {
+				s.fairSolver.AddDemand(j.User, -float64(j.Gang))
+			}
 			delete(s.prev, id)
 			delete(s.prevGen, id)
 			if s.faultsOn {
@@ -870,19 +938,15 @@ func (s *Sim) runRound() error {
 	// Next round's stability baseline: the latest placement of every
 	// still-active job. Jobs that went unplaced this round keep their
 	// old placement — their checkpoint state lives on that server, and
-	// the no-migration mode pins them to it.
-	newPrev := placement.Assignment{}
-	for id, devs := range s.prev {
-		if _, alive := s.active[id]; alive {
-			newPrev[id] = devs
-		}
-	}
+	// the no-migration mode pins them to it. The retirement sweep above
+	// already dropped finished jobs from s.prev, so merging the round's
+	// assignment in place (skipping jobs that finished this quantum)
+	// completes the update without rebuilding the map.
 	for id, devs := range res.Assignment {
 		if _, alive := s.active[id]; alive {
-			newPrev[id] = devs
+			s.prev[id] = devs
 		}
 	}
-	s.prev = newPrev
 
 	s.policy.Executed(rep)
 	if s.faultsOn {
@@ -914,8 +978,26 @@ func (s *Sim) runRound() error {
 	err := s.aud.endRound()
 	s.obs.PhaseEnd(obs.PhaseAudit)
 	s.publishShares()
-	s.obs.EndRound(len(s.active), len(s.pending))
+	s.obs.EndRound(len(s.active), s.evq.pendingCount())
 	return err
+}
+
+// syncIndexAvail brings the placement index's baseline availability in
+// line with the round's unavailable-server set, flipping only the
+// servers whose state changed since last round.
+func (s *Sim) syncIndexAvail(unavail map[gpu.ServerID]bool) {
+	for sid := range s.idxUnavail {
+		if !unavail[sid] {
+			s.pidx.SetAvail(sid, true)
+			delete(s.idxUnavail, sid)
+		}
+	}
+	for sid := range unavail {
+		if !s.idxUnavail[sid] {
+			s.pidx.SetAvail(sid, false)
+			s.idxUnavail[sid] = true
+		}
+	}
 }
 
 // settleCompensation closes the round's failure-compensation books:
@@ -988,9 +1070,7 @@ func (s *Sim) settleCompensation(lost, repaid, fair, occ map[job.UserID]float64)
 	for _, j := range s.active {
 		present[j.User] = true
 	}
-	for i := range s.pending {
-		present[s.pending[i].User] = true
-	}
+	s.evq.forEachPendingUser(func(u job.UserID) { present[u] = true })
 	for _, u := range job.SortedUsers(s.compDeficit) {
 		if !present[u] {
 			delete(s.compDeficit, u)
@@ -1217,31 +1297,15 @@ func (s *Sim) updateFaultState(now simclock.Time) map[gpu.ServerID]bool {
 	return down
 }
 
-func sortedJobIDs(m map[job.ID]*job.Job) []job.ID {
-	ids := make([]job.ID, 0, len(m))
+// sortedJobIDsInt collects m's keys sorted ascending into buf
+// (reused; contents overwritten).
+func sortedJobIDsInt(m map[job.ID]int, buf []job.ID) []job.ID {
+	ids := buf[:0]
 	for id := range m {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
-}
-
-func sortedJobIDsInt(m map[job.ID]int) []job.ID {
-	ids := make([]job.ID, 0, len(m))
-	for id := range m {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
-}
-
-func (s *Sim) runnableJobs() []*job.Job {
-	jobs := make([]*job.Job, 0, len(s.active))
-	for _, j := range s.active {
-		jobs = append(jobs, j)
-	}
-	sort.Slice(jobs, func(i, k int) bool { return jobs[i].ID < jobs[k].ID })
-	return jobs
 }
 
 // checkDecision enforces the policy contract: known runnable jobs,
@@ -1334,7 +1398,7 @@ func (s *Sim) result() *Result {
 	return &Result{
 		Policy:               s.policy.Name(),
 		Finished:             s.finished,
-		Unfinished:           len(s.active) + len(s.pending),
+		Unfinished:           len(s.active) + s.evq.pendingCount(),
 		UsageByUserGen:       s.usage,
 		UsefulByUser:         s.useful,
 		FairUsageByUser:      s.fairUsage,

@@ -1,0 +1,166 @@
+package fairshare
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/job"
+)
+
+// TestSolverMatchesCompute drives the incremental Solver through
+// randomized demand/ticket/capacity churn and requires its shares to
+// equal a fresh Compute of the same inputs, bit for bit, every step.
+func TestSolverMatchesCompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	users := []job.UserID{"a", "b", "c", "d", "e"}
+	for trial := 0; trial < 20; trial++ {
+		s := NewSolver()
+		tickets := map[job.UserID]float64{}
+		demand := map[job.UserID]float64{}
+		for _, u := range users {
+			w := 1 + rng.Float64()*3
+			tickets[u] = w
+			s.SetTickets(u, w)
+		}
+		capacity := float64(10 + rng.Intn(50))
+		s.SetCapacity(capacity)
+
+		for step := 0; step < 60; step++ {
+			switch rng.Intn(4) {
+			case 0: // arrival
+				u := users[rng.Intn(len(users))]
+				g := float64(1 + rng.Intn(8))
+				demand[u] += g
+				s.AddDemand(u, g)
+			case 1: // retirement
+				u := users[rng.Intn(len(users))]
+				if demand[u] > 0 {
+					g := float64(1 + rng.Intn(int(demand[u])))
+					demand[u] -= g
+					if demand[u] == 0 {
+						delete(demand, u)
+					}
+					s.AddDemand(u, -g)
+				}
+			case 2: // ticket change
+				u := users[rng.Intn(len(users))]
+				w := 0.5 + rng.Float64()*4
+				tickets[u] = w
+				s.SetTickets(u, w)
+			case 3: // capacity change (quarantine / recovery)
+				capacity = float64(10 + rng.Intn(50))
+				s.SetCapacity(capacity)
+			}
+			want := Compute(tickets, demand, capacity)
+			got := s.Shares()
+			if !sharesEqual(got, want) {
+				t.Fatalf("trial %d step %d: solver %v, want %v", trial, step, got, want)
+			}
+		}
+	}
+}
+
+// TestSolverReusesCleanRounds checks the memoization actually fires:
+// repeated Shares calls with untouched inputs, including changes that
+// net out to zero, must not re-solve.
+func TestSolverReusesCleanRounds(t *testing.T) {
+	s := NewSolver()
+	s.SetTickets("a", 1)
+	s.SetTickets("b", 2)
+	s.AddDemand("a", 4)
+	s.AddDemand("b", 8)
+	s.SetCapacity(10)
+	first := s.Shares()
+	for i := 0; i < 5; i++ {
+		s.SetCapacity(10) // unchanged: no-op
+		if got := s.Shares(); !sharesEqual(got, first) {
+			t.Fatalf("clean round %d changed shares", i)
+		}
+	}
+	// A finish and an arrival of equal width in the same round nets to
+	// zero: still clean.
+	s.AddDemand("a", -2)
+	s.AddDemand("a", 2)
+	s.Shares()
+	solves, reuses := s.Stats()
+	if solves != 1 {
+		t.Fatalf("solves = %d, want 1 (reuses %d)", solves, reuses)
+	}
+	if reuses != 6 {
+		t.Fatalf("reuses = %d, want 6", reuses)
+	}
+	// A real change re-solves.
+	s.AddDemand("a", 3)
+	s.Shares()
+	if solves, _ := s.Stats(); solves != 2 {
+		t.Fatalf("solves = %d after real change, want 2", solves)
+	}
+}
+
+// TestAllocationSolverMatchesComputeAllocation randomizes the policy
+// inputs and requires Solve to equal a fresh ComputeAllocation.
+func TestAllocationSolverMatchesComputeAllocation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	users := []job.UserID{"u1", "u2", "u3", "u4"}
+	s := NewAllocationSolver()
+	tickets := map[job.UserID]float64{}
+	demand := map[job.UserID]float64{}
+	caps := map[gpu.Generation]int{gpu.K80: 12, gpu.V100: 8}
+	for _, u := range users {
+		tickets[u] = 1 + rng.Float64()*2
+		demand[u] = float64(rng.Intn(12))
+	}
+	for step := 0; step < 80; step++ {
+		// Mutate sometimes; identical inputs the rest of the time.
+		if rng.Intn(3) == 0 {
+			u := users[rng.Intn(len(users))]
+			demand[u] = float64(rng.Intn(12))
+		}
+		if rng.Intn(10) == 0 {
+			caps[gpu.K80] = 8 + rng.Intn(8)
+		}
+		want := ComputeAllocation(tickets, demand, caps)
+		got := s.Solve(tickets, demand, caps)
+		if !reflect.DeepEqual(allocAsString(got), allocAsString(want)) {
+			t.Fatalf("step %d: solver %v, want %v", step, got, want)
+		}
+	}
+	solves, reuses := s.Stats()
+	if reuses == 0 {
+		t.Fatalf("memoization never fired (solves %d)", solves)
+	}
+	if solves == 80 {
+		t.Fatal("every step re-solved despite identical inputs")
+	}
+}
+
+func sharesEqual(a, b map[job.UserID]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for u, v := range a {
+		if bv, ok := b[u]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// allocAsString canonicalizes an Allocation for exact comparison
+// (%.17g round-trips float64 exactly).
+func allocAsString(a Allocation) map[job.UserID]string {
+	out := make(map[job.UserID]string, len(a))
+	for u, e := range a {
+		s := ""
+		for _, g := range gpu.Generations() {
+			if v, ok := e[g]; ok {
+				s += fmt.Sprintf("%v=%.17g ", g, v)
+			}
+		}
+		out[u] = s
+	}
+	return out
+}

@@ -384,3 +384,57 @@ func TestSweepReferenceRandomized(t *testing.T) {
 		}
 	}
 }
+
+// TestSweepTransitionsMatchRescanOracle pins the event-driven Advance
+// to the old all-server rescan semantics: the transition stream must
+// equal a per-sample diff of every server's looked-up state, in
+// server-ID order with the down transition before the degradation
+// transition per server.
+func TestSweepTransitionsMatchRescanOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(6)
+		var outs []Outage
+		var degs []Degradation
+		for i := 0; i < rng.Intn(15); i++ {
+			outs = append(outs, Outage{
+				Server:   gpu.ServerID(rng.Intn(n)),
+				At:       simclock.Time(rng.Float64() * 8000),
+				Duration: 1 + rng.Float64()*2500,
+			})
+		}
+		for i := 0; i < rng.Intn(8); i++ {
+			degs = append(degs, Degradation{
+				Server:   gpu.ServerID(rng.Intn(n)),
+				At:       simclock.Time(rng.Float64() * 8000),
+				Duration: 1 + rng.Float64()*2500,
+				Factor:   0.25 + rng.Float64()*0.5,
+			})
+		}
+		tl := Compile(outs, degs, n)
+		sw := NewSweep(tl)
+		prevDown := make([]bool, n)
+		prevFactor := make([]float64, n)
+		for i := range prevFactor {
+			prevFactor[i] = 1
+		}
+		for now := simclock.Time(0); now < 11000; now = now.Add(113) {
+			got := sw.Advance(now)
+			var want []Transition
+			for s := 0; s < n; s++ {
+				sid := gpu.ServerID(s)
+				if d := tl.DownAt(sid, now); d != prevDown[s] {
+					prevDown[s] = d
+					want = append(want, Transition{Server: sid, Down: d})
+				}
+				if f := tl.FactorAt(sid, now); f != prevFactor[s] {
+					prevFactor[s] = f
+					want = append(want, Transition{Server: sid, Slow: true, Factor: f})
+				}
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d t=%v: transitions %+v, want %+v", trial, now, got, want)
+			}
+		}
+	}
+}

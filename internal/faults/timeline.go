@@ -153,12 +153,17 @@ func lookup(spans []span, t simclock.Time) *span {
 }
 
 // Sweep is a monotone cursor over a Timeline. The engine samples server
-// state once per round boundary with strictly increasing timestamps, so
-// each per-server cursor only ever moves forward: a full-horizon run
-// costs O(spans) total instead of O(rounds × schedule) for the old
-// rescan. Sampling at round boundaries keeps the semantics of the
-// previous implementation: an outage strictly inside a quantum
-// (starting and ending between two samples) is invisible.
+// state once per round boundary with strictly increasing timestamps.
+// A precomputed global list of span boundaries (every From and To,
+// sorted by time) drives each sample: Advance pops the boundaries that
+// became due, and only the touched servers are re-examined — a server
+// whose spans have no boundary in (lastTime, t] cannot have changed
+// state. A full-horizon run therefore costs O(boundaries) total,
+// independent of both the round count and the server count, where the
+// previous implementation walked every server's cursor every round.
+// Sampling at round boundaries keeps the semantics of the original
+// rescan: an outage strictly inside a quantum (starting and ending
+// between two samples) is invisible.
 type Sweep struct {
 	tl       *Timeline
 	downIdx  []int
@@ -167,6 +172,19 @@ type Sweep struct {
 	factor   []float64
 	lastTime simclock.Time
 	started  bool
+
+	// boundaries is the merged, time-sorted list of every span edge;
+	// evIdx is the pop cursor. touched is scratch for one Advance.
+	boundaries []boundary
+	evIdx      int
+	touched    []int32
+}
+
+// boundary is one span edge: at this time, this server may change
+// state.
+type boundary struct {
+	at  simclock.Time
+	srv int32
 }
 
 // NewSweep creates a cursor positioned before time zero.
@@ -182,7 +200,31 @@ func NewSweep(tl *Timeline) *Sweep {
 	for i := range sw.factor {
 		sw.factor[i] = 1
 	}
+	for s := 0; s < n; s++ {
+		for _, sp := range tl.down[s] {
+			sw.boundaries = append(sw.boundaries, boundary{sp.From, int32(s)}, boundary{sp.To, int32(s)})
+		}
+		for _, sp := range tl.slow[s] {
+			sw.boundaries = append(sw.boundaries, boundary{sp.From, int32(s)}, boundary{sp.To, int32(s)})
+		}
+	}
+	sort.Slice(sw.boundaries, func(i, j int) bool {
+		if sw.boundaries[i].at != sw.boundaries[j].at {
+			return sw.boundaries[i].at < sw.boundaries[j].at
+		}
+		return sw.boundaries[i].srv < sw.boundaries[j].srv
+	})
 	return sw
+}
+
+// NextAt returns the time of the next pending span boundary, or
+// ok=false when the schedule is exhausted. The engine's event cursor
+// uses it to reason about when fault state can next change.
+func (sw *Sweep) NextAt() (simclock.Time, bool) {
+	if sw.evIdx >= len(sw.boundaries) {
+		return 0, false
+	}
+	return sw.boundaries[sw.evIdx].at, true
 }
 
 // Transition describes one server changing state between two samples.
@@ -204,8 +246,33 @@ func (sw *Sweep) Advance(t simclock.Time) []Transition {
 	}
 	sw.started = true
 	sw.lastTime = t
+
+	// Pop the boundaries that became due; only their servers can have
+	// changed state since the last sample. A span active at the very
+	// first sample is covered too: its From edge is ≤ t, so its server
+	// is touched.
+	touched := sw.touched[:0]
+	for sw.evIdx < len(sw.boundaries) && sw.boundaries[sw.evIdx].at <= t {
+		touched = append(touched, sw.boundaries[sw.evIdx].srv)
+		sw.evIdx++
+	}
+	sw.touched = touched
+	if len(touched) == 0 {
+		return nil
+	}
+	sort.Slice(touched, func(i, j int) bool { return touched[i] < touched[j] })
+
+	// Re-examine touched servers in ascending ID order, emitting the
+	// down transition before the degradation transition per server —
+	// exactly the order of the old all-server scan.
 	var out []Transition
-	for s := range sw.isDown {
+	var last int32 = -1
+	for _, s32 := range touched {
+		if s32 == last {
+			continue
+		}
+		last = s32
+		s := int(s32)
 		down := sw.seekDown(s, t)
 		if down != sw.isDown[s] {
 			sw.isDown[s] = down

@@ -1,0 +1,144 @@
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/job"
+)
+
+// TestPlaceIndexedDifferential drives Place and PlaceIndexed through
+// randomized multi-round sequences — churning prev assignments, down
+// servers, pinned jobs, and migration settings — and requires
+// byte-identical Results every round. This is the index's
+// equivalence contract.
+func TestPlaceIndexedDifferential(t *testing.T) {
+	for trial := 0; trial < 60; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+
+		specs := []gpu.Spec{
+			{Gen: gpu.K80, Servers: 2 + rng.Intn(6), GPUsPerSrv: 2 + rng.Intn(4)},
+			{Gen: gpu.V100, Servers: 1 + rng.Intn(5), GPUsPerSrv: 2 + rng.Intn(4)},
+		}
+		if rng.Intn(2) == 0 {
+			specs = append(specs, gpu.Spec{Gen: gpu.P100, Servers: 1 + rng.Intn(3), GPUsPerSrv: 4})
+		}
+		c, err := gpu.New(specs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gens := c.GensPresent()
+		idx := NewIndex(c)
+
+		jobs := make([]*job.Job, 12)
+		for i := range jobs {
+			jobs[i] = &job.Job{Spec: job.Spec{ID: job.ID(i + 1), Gang: 1 + rng.Intn(6)}}
+		}
+
+		prev := Assignment{}
+		unavail := map[gpu.ServerID]bool{}
+		for round := 0; round < 8; round++ {
+			// Churn availability and sync the index by diffing.
+			next := map[gpu.ServerID]bool{}
+			for _, srv := range c.Servers() {
+				if rng.Float64() < 0.15 {
+					next[srv.ID] = true
+				}
+			}
+			for sid := range unavail {
+				if !next[sid] {
+					idx.SetAvail(sid, true)
+				}
+			}
+			for sid := range next {
+				idx.SetAvail(sid, false)
+			}
+			unavail = next
+
+			var reqs []Request
+			pinned := map[job.ID]bool{}
+			for _, j := range jobs {
+				if rng.Float64() < 0.8 {
+					reqs = append(reqs, Request{Job: j, Gen: gens[rng.Intn(len(gens))]})
+					if rng.Float64() < 0.1 {
+						pinned[j.ID] = true
+					}
+				}
+			}
+			opt := Options{AllowMigration: rng.Float64() < 0.8, Down: unavail, Pinned: pinned}
+
+			want := Place(c, prev, reqs, opt)
+			got := PlaceIndexed(idx, prev, reqs, opt)
+
+			if !assignEqual(want.Assignment, got.Assignment) ||
+				!idsEqual(want.Migrated, got.Migrated) || !idsEqual(want.Unplaced, got.Unplaced) {
+				t.Fatalf("trial %d round %d: indexed placement diverged\nscan: %v\nidx:  %v",
+					trial, round, render(want), render(got))
+			}
+			if err := Validate(c, got.Assignment); err != nil {
+				t.Fatalf("trial %d round %d: %v", trial, round, err)
+			}
+			// Index must be back at baseline: every available server
+			// fully free.
+			for _, srv := range c.Servers() {
+				wantCnt := len(srv.Devices)
+				if unavail[srv.ID] {
+					wantCnt = 0
+				}
+				if int(idx.freeCnt[srv.ID]) != wantCnt {
+					t.Fatalf("trial %d round %d: server %d freeCnt %d after restore, want %d",
+						trial, round, srv.ID, idx.freeCnt[srv.ID], wantCnt)
+				}
+			}
+
+			// Feed forward with churn: some jobs release their devices.
+			prev = got.Assignment.Clone()
+			for id := range prev {
+				if rng.Float64() < 0.2 {
+					delete(prev, id)
+				}
+			}
+		}
+	}
+}
+
+func assignEqual(a, b Assignment) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for id, devs := range a {
+		if !reflect.DeepEqual(devs, b[id]) {
+			return false
+		}
+	}
+	return true
+}
+
+func idsEqual(a, b []job.ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func render(r Result) string {
+	ids := make([]job.ID, 0, len(r.Assignment))
+	for id := range r.Assignment {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	s := ""
+	for _, id := range ids {
+		s += fmt.Sprintf("%d:%v ", id, r.Assignment[id])
+	}
+	return fmt.Sprintf("assign=[%s] migrated=%v unplaced=%v", s, r.Migrated, r.Unplaced)
+}

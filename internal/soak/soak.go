@@ -15,7 +15,6 @@
 package soak
 
 import (
-	"crypto/sha256"
 	"fmt"
 	"sort"
 	"strings"
@@ -156,7 +155,7 @@ func (c Config) iteration(i int) (IterResult, error) {
 	if err != nil {
 		return it, fmt.Errorf("soak iter %d (seed %d): %w", i, seed, err)
 	}
-	it.Digest = digest(res)
+	it.Digest = core.CanonicalDigest(res)
 	it.ShareError = res.MaxShareError()
 	it.Rounds = res.Rounds
 	it.Crashes = res.Crashes
@@ -211,7 +210,7 @@ func (c Config) iteration(i int) (IterResult, error) {
 	if err != nil {
 		return it, fmt.Errorf("soak iter %d rerun (seed %d): %w", i, seed, err)
 	}
-	if d2 := digest(res2); d2 != it.Digest {
+	if d2 := core.CanonicalDigest(res2); d2 != it.Digest {
 		it.Violations = append(it.Violations,
 			fmt.Sprintf("nondeterministic: digest %s != rerun %s", it.Digest[:12], d2[:12]))
 	}
@@ -290,38 +289,4 @@ func obsFor(rec *flight.Recorder) *obs.Observer {
 		return nil
 	}
 	return obs.New()
-}
-
-// digest renders the run outcome in a canonical text form (sorted
-// users, fixed float formatting) and hashes it. Two runs of the same
-// seed must produce identical digests — this is the soak's
-// reproducibility contract.
-func digest(res *core.Result) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "rounds=%d events=%d finished=%d unfinished=%d migrations=%d\n",
-		res.Rounds, res.Log.Len(), len(res.Finished), res.Unfinished, res.Migrations)
-	fmt.Fprintf(&b, "crashes=%d migfail=%d quarantines=%d repaid=%.6f\n",
-		res.Crashes, res.MigrationFailures, res.Quarantines, res.CompRepaidGPUSeconds)
-
-	users := make(map[job.UserID]bool)
-	occ := res.TotalUsageByUser()
-	for u := range occ {
-		users[u] = true
-	}
-	for u := range res.FairUsageByUser {
-		users[u] = true
-	}
-	for u := range res.CompDeficitByUser {
-		users[u] = true
-	}
-	sorted := make([]job.UserID, 0, len(users))
-	for u := range users {
-		sorted = append(sorted, u)
-	}
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	for _, u := range sorted {
-		fmt.Fprintf(&b, "user=%s occ=%.6f fair=%.6f useful=%.6f deficit=%.6f\n",
-			u, occ[u], res.FairUsageByUser[u], res.UsefulByUser[u], res.CompDeficitByUser[u])
-	}
-	return fmt.Sprintf("%x", sha256.Sum256([]byte(b.String())))
 }
