@@ -98,7 +98,9 @@ func runCentral(args []string) {
 		snapEvery = fs.Int("snapshot-every", 1, "snapshot every N rounds (with -snapshot-dir)")
 		restore   = fs.Bool("restore", false, "resume from the snapshot in -snapshot-dir instead of a fresh workload")
 	)
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
 	if *restore && *snapDir == "" {
 		fatal(fmt.Errorf("-restore needs -snapshot-dir"))
 	}
@@ -242,7 +244,9 @@ func runAgent(args []string) {
 		gpus    = fs.Int("gpus", 4, "GPUs on this server")
 		rejoins = fs.Int("rejoin", 0, "re-dial and re-register up to N times if the central goes away")
 	)
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
 	if *name == "" {
 		fatal(fmt.Errorf("agent needs -name"))
 	}
@@ -298,7 +302,9 @@ func runChaos(args []string) {
 		maxDrops     = fs.Int("max-drops", 2, "cap on dropped plans")
 		delayMS      = fs.Int("max-delay-ms", 5, "report delay upper bound, milliseconds")
 	)
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
 
 	sum, err := distrib.RunChaos(distrib.ChaosConfig{
 		Seed:               *seed,

@@ -109,7 +109,7 @@ func main() {
 			fatal(err)
 		}
 		specs, err = workload.ReadCSV(f, zoo)
-		f.Close()
+		_ = f.Close() // read-only; nothing to recover from a close error
 		if err != nil {
 			fatal(err)
 		}
@@ -247,7 +247,7 @@ func runScenario(path, traceOut string, traceCap int, observer *obs.Observer, re
 		fatal(err)
 	}
 	sc, err := scenario.Load(f)
-	f.Close()
+	_ = f.Close() // read-only; nothing to recover from a close error
 	if err != nil {
 		fatal(err)
 	}

@@ -47,7 +47,7 @@ func main() {
 		fatal(err)
 	}
 	grid, err := sweep.LoadGrid(f)
-	f.Close()
+	_ = f.Close() // read-only; nothing to recover from a close error
 	if err != nil {
 		fatal(err)
 	}

@@ -114,7 +114,7 @@ func TestSummarizeEventsFiles(t *testing.T) {
 		if err := tc.write(f); err != nil {
 			t.Fatal(err)
 		}
-		f.Close()
+		_ = f.Close()
 		if err := summarizeEvents(path); err != nil {
 			t.Errorf("%s: %v", tc.name, err)
 		}

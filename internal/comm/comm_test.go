@@ -59,11 +59,11 @@ func TestHubErrors(t *testing.T) {
 		t.Error("send to unknown endpoint succeeded")
 	}
 	b, _ := hub.Attach("b")
-	b.Close()
+	_ = b.Close()
 	if err := a.Send("b", Envelope{}); err == nil {
 		t.Error("send to closed endpoint succeeded")
 	}
-	b.Close() // double close is a no-op
+	_ = b.Close() // double close is a no-op
 }
 
 func TestHubBackpressure(t *testing.T) {
@@ -193,12 +193,14 @@ func TestTCPServerClose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cli.Send("central", Envelope{From: "agent", Msg: Register{Agent: "agent"}})
+	if err := cli.Send("central", Envelope{From: "agent", Msg: Register{Agent: "agent"}}); err != nil {
+		t.Fatal(err)
+	}
 	recvOne(t, srv)
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
 	}
-	srv.Close() // idempotent
+	_ = srv.Close() // idempotent
 	// Client's recv loop should observe EOF and close its inbox.
 	select {
 	case _, ok := <-cli.Recv():
@@ -222,7 +224,7 @@ func TestClientSendAfterServerGone(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cli.Close()
-	srv.Close()
+	_ = srv.Close()
 	// Wait for the client's recv loop to notice EOF.
 	for range cli.Recv() {
 	}
@@ -257,6 +259,6 @@ func TestServerNameAndDoubleClientClose(t *testing.T) {
 	if cli.Name() != "agent" {
 		t.Errorf("client Name = %q", cli.Name())
 	}
-	cli.Close()
-	cli.Close() // idempotent
+	_ = cli.Close()
+	_ = cli.Close() // idempotent
 }

@@ -110,8 +110,9 @@ func TestCapacityAccountingDuringFailure(t *testing.T) {
 	}
 	// And usage must fit within the surviving half.
 	var total float64
-	for _, v := range res.TotalUsageByUser() {
-		total += v
+	usage := res.TotalUsageByUser()
+	for _, u := range job.SortedUsers(usage) {
+		total += usage[u]
 	}
 	if total > 4*6*simclock.Hour*1.01 {
 		t.Errorf("used %v GPU-s, more than the surviving server offers", total)

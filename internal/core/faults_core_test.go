@@ -51,8 +51,8 @@ func TestCompensationRepaysFaultLosses(t *testing.T) {
 		t.Errorf("DisableCompensation still repaid %.1f GPU-s", ncRes.CompRepaidGPUSeconds)
 	}
 	var owed float64
-	for _, d := range ncRes.CompDeficitByUser {
-		owed += d
+	for _, u := range job.SortedUsers(ncRes.CompDeficitByUser) {
+		owed += ncRes.CompDeficitByUser[u]
 	}
 	if owed <= 0 {
 		t.Errorf("uncompensated run accrued no deficit — losses untracked")

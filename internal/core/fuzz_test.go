@@ -153,8 +153,8 @@ func checkInvariants(t *testing.T, cfg Config, res *Result, totalJobs int) {
 
 	// Fairness reference bounded by capacity.
 	var fairTotal float64
-	for _, v := range res.FairUsageByUser {
-		fairTotal += v
+	for _, u := range job.SortedUsers(res.FairUsageByUser) {
+		fairTotal += res.FairUsageByUser[u]
 	}
 	capTotal := res.Utilization.CapacityGPUSeconds
 	if fairTotal > capTotal*1.01+1e-6 {

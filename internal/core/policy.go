@@ -31,6 +31,7 @@ type RoundState struct {
 	// Jobs lists all runnable (arrived, unfinished) jobs in ID order.
 	// Policies must not mutate them, and must not retain the slice
 	// past Decide — the engine reuses its backing array every round.
+	//gflint:noretain backing array reused by the engine every round
 	Jobs []*job.Job
 
 	// Tickets are the per-user fair-share weights.

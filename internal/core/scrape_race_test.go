@@ -64,7 +64,7 @@ func TestScrapeWhileEngineSteps(t *testing.T) {
 				if _, err := io.Copy(io.Discard, resp.Body); err != nil {
 					t.Error(err)
 				}
-				resp.Body.Close()
+				_ = resp.Body.Close()
 				if resp.StatusCode != http.StatusOK {
 					t.Errorf("%s: status %d", url, resp.StatusCode)
 					return

@@ -398,10 +398,10 @@ type Sim struct {
 	fairSolver  *fairshare.Solver     // dirty-set water-filler for the fairness reference
 
 	// Per-round scratch reused across rounds (contents die at round end).
-	jobsBuf   []*job.Job
-	placedBuf []job.ID
-	retireBuf []job.ID
-	pinBuf    []job.ID
+	jobsBuf   []*job.Job //gflint:noretain per-round scratch
+	placedBuf []job.ID   //gflint:noretain per-round scratch
+	retireBuf []job.ID   //gflint:noretain per-round scratch
+	pinBuf    []job.ID   //gflint:noretain per-round scratch
 
 	prev    placement.Assignment
 	prevGen map[job.ID]gpu.Generation

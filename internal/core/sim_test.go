@@ -178,8 +178,8 @@ func TestShareReclaimedOnDeparture(t *testing.T) {
 		t.Fatalf("after a departed, b's share = %v, want ≈1", fr["b"])
 	}
 	var busy float64
-	for _, v := range last.ByUser {
-		busy += v
+	for _, u := range job.SortedUsers(last.ByUser) {
+		busy += last.ByUser[u]
 	}
 	if busy < 0.95*4*simclock.Hour {
 		t.Fatalf("cluster not fully used after departure: %v GPU-s in last window", busy)

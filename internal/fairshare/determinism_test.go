@@ -78,7 +78,7 @@ func TestFlattenRepeatable(t *testing.T) {
 		"small": {Tickets: 1, Weights: map[job.UserID]float64{"z-solo": 1}},
 	})
 	var active []job.UserID
-	for u := range weights {
+	for _, u := range job.SortedUsers(weights) {
 		if u != "u000" { // one idle member, so wsum is a strict subset sum
 			active = append(active, u)
 		}

@@ -39,7 +39,7 @@ type Solver struct {
 	cleanTickets map[job.UserID]float64
 	capDirty     bool
 
-	shares map[job.UserID]float64
+	shares map[job.UserID]float64 //gflint:noretain solver cache, rewritten on re-solve
 	valid  bool
 
 	solves, reuses int // statistics, exposed for tests and benchmarks
@@ -122,6 +122,8 @@ func (s *Solver) dirty() bool {
 // only when an input changed since the last call. The returned map is
 // the solver's cache: read-only, valid until the next Shares call
 // after a change.
+//
+//gflint:noretain
 func (s *Solver) Shares() map[job.UserID]float64 {
 	if s.dirty() {
 		s.shares = Compute(s.tickets, s.demand, s.capacity)
@@ -158,7 +160,7 @@ type AllocationSolver struct {
 	demand  map[job.UserID]float64
 	caps    map[gpu.Generation]int
 
-	alloc Allocation
+	alloc Allocation //gflint:noretain solver cache, rewritten on re-solve
 	valid bool
 
 	solves, reuses int
@@ -175,6 +177,8 @@ func NewAllocationSolver() *AllocationSolver {
 
 // Solve returns ComputeAllocation(tickets, demand, capacities),
 // re-solving only when an input differs from the previous call.
+//
+//gflint:noretain
 func (s *AllocationSolver) Solve(tickets, demand map[job.UserID]float64, capacities map[gpu.Generation]int) Allocation {
 	if s.valid &&
 		floatMapEqual(s.tickets, tickets) &&

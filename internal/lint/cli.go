@@ -118,9 +118,16 @@ func relativize(diags []Diagnostic) {
 	if err != nil {
 		return
 	}
+	shorten := func(file string) string {
+		if rel, err := filepath.Rel(wd, file); err == nil && !strings.HasPrefix(rel, "..") {
+			return rel
+		}
+		return file
+	}
 	for i := range diags {
-		if rel, err := filepath.Rel(wd, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
-			diags[i].File = rel
+		diags[i].File = shorten(diags[i].File)
+		for j := range diags[i].Related {
+			diags[i].Related[j].File = shorten(diags[i].Related[j].File)
 		}
 	}
 }

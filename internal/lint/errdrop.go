@@ -6,23 +6,28 @@ import (
 	"strings"
 )
 
-// ErrDropAnalyzer flags expression statements inside internal/ that
-// call a function returning an error and let the value fall on the
-// floor — the bug class behind the silent admit() job loss fixed in
-// the distributed runtime. An explicit `_ =` discard, a defer, or a go
-// statement is visible intent and is not flagged; a bare call is not.
+// ErrDropAnalyzer flags expression statements inside internal/ and
+// cmd/ that call a function returning an error and let the value fall
+// on the floor — the bug class behind the silent admit() job loss
+// fixed in the distributed runtime. An explicit `_ =` discard, a
+// defer, or a go statement is visible intent and is not flagged; a
+// bare call is not.
 //
 // Never-fail writers are exempt: fmt.Fprint* into a *strings.Builder
 // or *bytes.Buffer, and Write* methods on those types, return errors
-// only to satisfy io interfaces.
+// only to satisfy io interfaces. In cmd/ the terminal printers
+// (fmt.Print*, and fmt.Fprint* to os.Stdout/os.Stderr) are exempt
+// too: a broken terminal pipe has no in-band remedy for a CLI, and
+// demanding `_ =` on every status line would bury the real findings.
 var ErrDropAnalyzer = &Analyzer{
 	Name: "errdrop",
-	Doc:  "silently discarded error returns in internal/ (bare call statements; use _ = or handle the error)",
+	Doc:  "silently discarded error returns in internal/ and cmd/ (bare call statements; use _ = or handle the error)",
 	Run:  runErrDrop,
 }
 
 func runErrDrop(pass *Pass) {
-	if !strings.HasPrefix(pass.Pkg.Path, "repro/internal/") {
+	inCmd := strings.HasPrefix(pass.Pkg.Path, "repro/cmd/")
+	if !inCmd && !strings.HasPrefix(pass.Pkg.Path, "repro/internal/") {
 		return
 	}
 	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
@@ -37,6 +42,9 @@ func runErrDrop(pass *Pass) {
 				return true
 			}
 			if !returnsError(pass, call, errType) || neverFails(pass, call) {
+				return true
+			}
+			if inCmd && isTerminalPrint(pass, call) {
 				return true
 			}
 			name := "call"
@@ -81,6 +89,31 @@ func neverFails(pass *Pass, call *ast.CallExpr) bool {
 		return isMemWriter(sig.Recv().Type())
 	}
 	return false
+}
+
+// isTerminalPrint reports fmt.Print*/Println/Printf, and fmt.Fprint*
+// writing to os.Stdout or os.Stderr — CLI status output whose write
+// errors a command-line tool cannot meaningfully handle.
+func isTerminalPrint(pass *Pass, call *ast.CallExpr) bool {
+	fn := pass.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	if strings.HasPrefix(fn.Name(), "Print") {
+		return true
+	}
+	if !strings.HasPrefix(fn.Name(), "Fprint") || len(call.Args) == 0 {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.ObjectOf(sel.Sel)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+		return false
+	}
+	return obj.Name() == "Stdout" || obj.Name() == "Stderr"
 }
 
 // isMemWriter reports *strings.Builder or *bytes.Buffer.

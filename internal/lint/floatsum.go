@@ -1,0 +1,314 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatSumAnalyzer generalizes maprange's float-accumulation rule by
+// one dataflow step: a slice filled in map-iteration order carries the
+// nondeterminism with it, and summing THAT slice — in a later loop or
+// via a sum-shaped helper — rounds in map order even though no map
+// range is in sight at the accumulation site. This is the bug class
+// fixed twice already (fairshare/stride water-fills in PR 1, the fault
+// path in PR 5), each time one assignment removed from where maprange
+// could see it.
+//
+// A local slice becomes "map-ordered" when elements that depend on the
+// iteration are appended to it inside a range over a map (or over
+// another map-ordered slice — the property is transitive, as are plain
+// local aliases y := x). Sorting the slice after the building loop
+// (sort.* / slices.*) restores determinism and clears the mark. A
+// map-ordered slice is then reported when a range over it accumulates
+// floats into an outer variable, or when it is passed to a function
+// whose name promises a reduction (sum, total, mean, avg, average, or
+// a *Sum suffix).
+var FloatSumAnalyzer = &Analyzer{
+	Name: "floatsum",
+	Doc:  "float accumulation over slices whose element order came from map iteration (maprange, one dataflow step removed)",
+	Run:  runFloatSum,
+}
+
+// mapOrdered records how a local slice acquired map iteration order.
+type mapOrdered struct {
+	origin token.Pos      // the append that copied map order into the slice
+	rs     *ast.RangeStmt // the building loop, for the sorted-after check
+}
+
+func runFloatSum(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body != nil {
+				checkFloatSumBody(pass, body)
+			}
+			return true
+		})
+	}
+}
+
+func checkFloatSumBody(pass *Pass, body *ast.BlockStmt) {
+	ordered := findMapOrdered(pass, body)
+	if len(ordered) == 0 {
+		return
+	}
+	// The collect-then-sort idiom clears the mark.
+	for obj, info := range ordered {
+		if sortedAfter(pass, body, info.rs, obj) {
+			delete(ordered, obj)
+		}
+	}
+	if len(ordered) == 0 {
+		return
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n.Pos() != body.Pos() {
+			return false // checked as its own function
+		}
+		switch v := n.(type) {
+		case *ast.RangeStmt:
+			id, ok := ast.Unparen(v.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			info := ordered[pass.ObjectOf(id)]
+			if info == nil {
+				return true
+			}
+			reportFloatAccums(pass, v, id.Name, info)
+		case *ast.CallExpr:
+			checkSumCall(pass, v, ordered)
+		}
+		return true
+	})
+}
+
+// findMapOrdered runs the fixpoint marking local slices that carry map
+// iteration order: appends of iteration-dependent elements inside a
+// range over a map or over an already-marked slice, plus plain local
+// aliases. Only identifier-rooted destinations declared outside the
+// building loop are tracked.
+func findMapOrdered(pass *Pass, body *ast.BlockStmt) map[types.Object]*mapOrdered {
+	ordered := make(map[types.Object]*mapOrdered)
+	disorder := func(rs *ast.RangeStmt) *mapOrdered {
+		if _, isMap := typeUnder(pass.TypeOf(rs.X)).(*types.Map); isMap {
+			return &mapOrdered{rs: rs}
+		}
+		if id, ok := ast.Unparen(rs.X).(*ast.Ident); ok {
+			return ordered[pass.ObjectOf(id)]
+		}
+		return nil
+	}
+	for {
+		changed := false
+		mark := func(obj types.Object, info *mapOrdered) {
+			if obj != nil && ordered[obj] == nil {
+				ordered[obj] = info
+				changed = true
+			}
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok && n.Pos() != body.Pos() {
+				return false
+			}
+			switch v := n.(type) {
+			case *ast.RangeStmt:
+				src := disorder(v)
+				if src == nil {
+					return true
+				}
+				vars := rangeVarObjs(pass, v)
+				ast.Inspect(v.Body, func(m ast.Node) bool {
+					st, ok := m.(*ast.AssignStmt)
+					if !ok {
+						return true
+					}
+					for i, rhs := range st.Rhs {
+						call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+						if !ok || !pass.IsBuiltin(call, "append") || len(call.Args) < 2 {
+							continue
+						}
+						dep := false
+						for _, a := range call.Args[1:] {
+							if loopDependent(pass, a, vars, v) {
+								dep = true
+								break
+							}
+						}
+						if !dep {
+							continue
+						}
+						var dest ast.Expr
+						if len(st.Lhs) == len(st.Rhs) {
+							dest = st.Lhs[i]
+						} else if len(st.Lhs) == 1 {
+							dest = st.Lhs[0]
+						}
+						id, ok := ast.Unparen(dest).(*ast.Ident)
+						if !ok {
+							continue
+						}
+						obj := pass.ObjectOf(id)
+						if obj == nil || declaredWithin(obj, v.Body) {
+							continue
+						}
+						origin := src.origin
+						if !origin.IsValid() {
+							origin = call.Pos()
+						}
+						// The sorted-after horizon is the loop that
+						// filled THIS slice; the origin note keeps
+						// pointing at where map order first leaked in.
+						mark(obj, &mapOrdered{origin: origin, rs: v})
+					}
+					return true
+				})
+			case *ast.AssignStmt:
+				// y := x aliases the marked backing and its order.
+				if len(v.Lhs) != len(v.Rhs) {
+					return true
+				}
+				for i := range v.Lhs {
+					src := ast.Unparen(v.Rhs[i])
+					if se, ok := src.(*ast.SliceExpr); ok {
+						src = ast.Unparen(se.X)
+					}
+					id, ok := src.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					info := ordered[pass.ObjectOf(id)]
+					if info == nil {
+						continue
+					}
+					if lid, ok := ast.Unparen(v.Lhs[i]).(*ast.Ident); ok && lid.Name != "_" {
+						mark(pass.ObjectOf(lid), info)
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			return ordered
+		}
+	}
+}
+
+// reportFloatAccums flags float accumulation into outer variables
+// inside a range over a map-ordered slice, mirroring maprange's rules
+// (constant addends, range-var-keyed writes, and loop-local
+// accumulators are order-insensitive and exempt).
+func reportFloatAccums(pass *Pass, rs *ast.RangeStmt, sliceName string, info *mapOrdered) {
+	vars := rangeVarObjs(pass, rs)
+	report := func(lhs, rhs ast.Expr) {
+		basic, ok := typeUnder(pass.TypeOf(lhs)).(*types.Basic)
+		if !ok || basic.Info()&types.IsFloat == 0 {
+			return
+		}
+		if pass.IsConst(rhs) || !loopDependent(pass, rhs, vars, rs) {
+			return
+		}
+		if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && refersTo(pass, idx.Index, vars) {
+			return
+		}
+		if obj := rootObj(pass, lhs); obj != nil && declaredWithin(obj, rs.Body) {
+			return
+		}
+		pass.ReportRelated(lhs.Pos(),
+			[]Related{pass.Note(orNoPos(info.origin, rs.Pos()), "element order set by map iteration here")},
+			"float accumulation into %s over %s, whose element order follows a map iteration — sort %s before summing",
+			destName(lhs), sliceName, sliceName)
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		st, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch {
+		case len(st.Lhs) == 1 && (st.Tok == token.ADD_ASSIGN || st.Tok == token.SUB_ASSIGN ||
+			st.Tok == token.MUL_ASSIGN || st.Tok == token.QUO_ASSIGN):
+			report(st.Lhs[0], st.Rhs[0])
+		case len(st.Lhs) == 1 && st.Tok == token.ASSIGN:
+			if bin, ok := ast.Unparen(st.Rhs[0]).(*ast.BinaryExpr); ok {
+				switch bin.Op {
+				case token.ADD, token.SUB, token.MUL, token.QUO:
+					lobj := rootObj(pass, st.Lhs[0])
+					if lobj == nil {
+						break
+					}
+					if sameRoot(pass, bin.X, lobj) {
+						report(st.Lhs[0], bin.Y)
+					} else if sameRoot(pass, bin.Y, lobj) {
+						report(st.Lhs[0], bin.X)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkSumCall flags a map-ordered slice handed to a function whose
+// name promises an order-sensitive reduction.
+func checkSumCall(pass *Pass, call *ast.CallExpr, ordered map[types.Object]*mapOrdered) {
+	name := calleeName(pass, call)
+	if !sumLikeName(name) {
+		return
+	}
+	for _, arg := range call.Args {
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		info := ordered[pass.ObjectOf(id)]
+		if info == nil {
+			continue
+		}
+		pass.ReportRelated(arg.Pos(),
+			[]Related{pass.Note(orNoPos(info.origin, info.rs.Pos()), "element order set by map iteration here")},
+			"%s, whose element order follows a map iteration, is passed to %s — sort it before reducing",
+			id.Name, name)
+	}
+}
+
+func calleeName(pass *Pass, call *ast.CallExpr) string {
+	if fn := pass.CalleeFunc(call); fn != nil {
+		return fn.Name()
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// sumLikeName reports names that read as order-sensitive reductions.
+func sumLikeName(name string) bool {
+	l := strings.ToLower(name)
+	switch l {
+	case "sum", "total", "mean", "avg", "average":
+		return true
+	}
+	return strings.HasSuffix(l, "sum")
+}
+
+func orNoPos(pos, fallback token.Pos) token.Pos {
+	if pos.IsValid() {
+		return pos
+	}
+	return fallback
+}

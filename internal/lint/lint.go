@@ -5,11 +5,26 @@
 // registry of analyzers over them, and reports file/line diagnostics.
 //
 // The analyzers encode the failure modes that have actually bitten
-// this codebase: map-iteration-order nondeterminism in float sums,
-// appends, trace/obs emission and RNG draws (maprange); wall-clock
-// reads in simulation logic that must run on virtual time (wallclock);
-// use of the shared global math/rand RNG (globalrand); and silently
-// discarded error returns (errdrop).
+// this codebase, plus the aliasing and concurrency contracts the
+// incremental engine depends on:
+//
+//   - maprange: map-iteration-order nondeterminism in float sums,
+//     appends, trace/obs emission and RNG draws;
+//   - wallclock: wall-clock reads in simulation logic that must run
+//     on virtual time;
+//   - globalrand: use of the shared global math/rand RNG;
+//   - errdrop: silently discarded error returns;
+//   - retain: values covered by a //gflint:noretain contract escaping
+//     into fields, globals, closures, channels, or returns;
+//   - floatsum: float accumulation over slices whose element order
+//     came from map iteration (the maprange bug class, one assignment
+//     removed);
+//   - rngorder: seeded RNG draws from goroutines, sort comparators,
+//     or map-range bodies, which reorder the shared stream;
+//   - lockcopy: by-value copies of structs containing sync mutexes;
+//   - lockhold: locks held across blocking channel operations;
+//   - scratchalias: functions that reuse a scratch slice ([:0] on a
+//     field or global) and let an alias of it escape.
 //
 // Findings can be suppressed with a directive comment on the flagged
 // line or the line directly above it:
@@ -17,7 +32,8 @@
 //	//gflint:ignore <check> <one-line justification>
 //
 // A directive must name the check and carry a justification; malformed
-// directives are themselves reported (check "directive").
+// directives are themselves reported (check "directive"), as are stale
+// directives whose check ran but matched nothing on the covered lines.
 package lint
 
 import (
@@ -26,6 +42,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 )
 
 // Analyzer is one named check. Run inspects a typechecked package via
@@ -47,6 +64,12 @@ func Analyzers() []*Analyzer {
 		WallClockAnalyzer,
 		GlobalRandAnalyzer,
 		ErrDropAnalyzer,
+		RetainAnalyzer,
+		FloatSumAnalyzer,
+		RngOrderAnalyzer,
+		LockCopyAnalyzer,
+		LockHoldAnalyzer,
+		ScratchAliasAnalyzer,
 	}
 }
 
@@ -60,17 +83,48 @@ func AnalyzerByName(name string) *Analyzer {
 	return nil
 }
 
-// Diagnostic is one finding, located at a concrete file position.
-type Diagnostic struct {
-	Check   string `json:"check"`
+// Related is a secondary position attached to a diagnostic — e.g. the
+// declaration site of the //gflint:noretain annotation a retain
+// finding enforces, or the Lock() a blocked channel op still holds.
+type Related struct {
 	File    string `json:"file"`
 	Line    int    `json:"line"`
 	Col     int    `json:"col"`
 	Message string `json:"message"`
 }
 
+// Diagnostic is one finding, located at a concrete file position.
+type Diagnostic struct {
+	Check   string    `json:"check"`
+	File    string    `json:"file"`
+	Line    int       `json:"line"`
+	Col     int       `json:"col"`
+	Message string    `json:"message"`
+	Related []Related `json:"related,omitempty"`
+}
+
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Check, d.Message)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Check, d.Message)
+	for _, r := range d.Related {
+		fmt.Fprintf(&b, "\n\t%s:%d:%d: %s", r.File, r.Line, r.Col, r.Message)
+	}
+	return b.String()
+}
+
+// key is the comparable identity of a diagnostic, used for
+// deduplication (Related carries no identity: two analyses reporting
+// the same position and message are the same finding).
+type diagKey struct {
+	Check   string
+	File    string
+	Line    int
+	Col     int
+	Message string
+}
+
+func (d Diagnostic) key() diagKey {
+	return diagKey{d.Check, d.File, d.Line, d.Col, d.Message}
 }
 
 // Pass carries one analyzer's view of one typechecked package.
@@ -84,6 +138,11 @@ type Pass struct {
 
 // Report records a finding at pos.
 func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	p.ReportRelated(pos, nil, format, args...)
+}
+
+// ReportRelated records a finding at pos with secondary positions.
+func (p *Pass) ReportRelated(pos token.Pos, related []Related, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	*p.diags = append(*p.diags, Diagnostic{
 		Check:   p.Analyzer.Name,
@@ -91,7 +150,19 @@ func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 		Line:    position.Line,
 		Col:     position.Column,
 		Message: fmt.Sprintf(format, args...),
+		Related: related,
 	})
+}
+
+// Note builds a Related entry for pos.
+func (p *Pass) Note(pos token.Pos, format string, args ...any) Related {
+	position := p.Fset.Position(pos)
+	return Related{
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	}
 }
 
 // TypeOf returns the type of an expression, nil when unknown.
@@ -134,10 +205,19 @@ func (p *Pass) IsBuiltin(call *ast.CallExpr, name string) bool {
 	return ok && b.Name() == name
 }
 
-// Run executes the given analyzers over the packages, applies
-// suppression directives, and returns the surviving diagnostics in
-// stable (file, line, col, check) order. Malformed directives are
-// appended as check "directive" findings.
+// Run executes the given analyzers over the packages in passes:
+//
+//  1. every analyzer over every package (annotation facts were already
+//     collected at load time, before any analyzer ran);
+//  2. malformed suppression directives and malformed //gflint:noretain
+//     annotations, as check "directive";
+//  3. deduplication, then suppression — recording which directives
+//     actually matched a finding;
+//  4. stale-directive reporting: a well-formed directive whose check
+//     was among the analyzers that ran but suppressed nothing.
+//
+// Surviving diagnostics come back in stable (file, line, col, check)
+// order.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
@@ -145,20 +225,36 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			a.Run(&Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg, diags: &diags})
 		}
 		diags = append(diags, directiveProblems(pkg, Analyzers())...)
+		if pkg.annot != nil {
+			diags = append(diags, pkg.annot.problems[pkg.Path]...)
+		}
 	}
+
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+
 	var out []Diagnostic
-	seen := make(map[Diagnostic]bool, len(diags))
+	seen := make(map[diagKey]bool, len(diags))
+	used := make(map[directiveKey]bool)
 	for _, d := range diags {
 		// Nested map ranges can charge one statement to two loops;
 		// identical diagnostics collapse to one.
-		if seen[d] {
+		if seen[d.key()] {
 			continue
 		}
-		seen[d] = true
-		if d.Check != "directive" && suppressed(pkgsByFile(pkgs, d.File), d) {
-			continue
+		seen[d.key()] = true
+		if d.Check != "directive" {
+			if dir, ok := suppressedBy(pkgsByFile(pkgs, d.File), d); ok {
+				used[dir] = true
+				continue
+			}
 		}
 		out = append(out, d)
+	}
+	for _, pkg := range pkgs {
+		out = append(out, staleDirectives(pkg, ran, used)...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -171,7 +267,10 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Check < b.Check
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
 	})
 	return out
 }

@@ -74,6 +74,13 @@ func TestGoldenCorpus(t *testing.T) {
 			t.Fatal(err)
 		}
 		d.File = filepath.ToSlash(rel)
+		for i := range d.Related {
+			rrel, err := filepath.Rel(root, d.Related[i].File)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d.Related[i].File = filepath.ToSlash(rrel)
+		}
 		b.WriteString(d.String())
 		b.WriteString("\n")
 	}
@@ -96,10 +103,30 @@ func TestGoldenCorpus(t *testing.T) {
 	for _, d := range diags {
 		checks[d.Check] = true
 	}
-	for _, want := range []string{"maprange", "wallclock", "globalrand", "errdrop", "directive"} {
+	for _, want := range []string{
+		"maprange", "wallclock", "globalrand", "errdrop", "directive",
+		"retain", "floatsum", "rngorder", "lockcopy", "lockhold", "scratchalias",
+	} {
 		if !checks[want] {
 			t.Errorf("corpus exercises no %s finding", want)
 		}
+	}
+}
+
+// TestDirectiveFixtureClean pins the //gflint:ignore interaction with
+// the dataflow analyzers: every finding in dirfix carries a justified
+// suppression, so the package must produce nothing — and because a
+// directive whose check reports nothing goes stale (a finding), this
+// also proves each suppressed analyzer still fires there.
+func TestDirectiveFixtureClean(t *testing.T) {
+	diags := runOver(t, LoadConfig{Dir: fixtureDir(t)}, "./internal/dirfix")
+	if len(diags) != 0 {
+		var b strings.Builder
+		for _, d := range diags {
+			b.WriteString(d.String())
+			b.WriteString("\n")
+		}
+		t.Fatalf("dirfix should be fully suppressed, got:\n%s", b.String())
 	}
 }
 
@@ -187,29 +214,32 @@ func TestChecksSubset(t *testing.T) {
 	}
 }
 
-// mutation is one deleted-guard scenario: edit the real source in
-// memory, then require a maprange diagnostic at the exact line of the
-// now-unsorted statement.
+// mutation is one deleted-guard (or injected-hazard) scenario: edit
+// the real source in memory, then require a diagnostic of the named
+// check at the exact line of the now-unguarded statement.
 type mutation struct {
 	file    string // repo-relative source file
 	pkg     string // pattern to load
+	check   string // analyzer that must catch the mutation
 	old     string // guard text to replace
 	new     string // replacement without the guard
 	flagged string // statement that must be flagged, located by text
 }
 
 // TestMutationDeletedGuardsAreCaught is the acceptance criterion for
-// the analyzer: deleting any one sorted-keys guard in fairshare or
-// stride must fail gflint with a maprange diagnostic pointing at the
-// exact line.
+// the suite: deleting any one determinism or ownership guard in the
+// real engine — a sorted-keys loop, a defensive copy, a draw outside
+// a goroutine — must fail gflint with a diagnostic of the right check
+// pointing at the exact line.
 func TestMutationDeletedGuardsAreCaught(t *testing.T) {
 	root := repoRoot(t)
 	muts := []mutation{
 		{
-			file: "internal/fairshare/fairshare.go",
-			pkg:  "./internal/fairshare",
-			old:  "for _, g := range gpu.Generations() {\n\t\tsum += float64(capacities[g])\n\t}",
-			new:  "for _, c := range capacities {\n\t\tsum += float64(c)\n\t}",
+			file:  "internal/fairshare/fairshare.go",
+			pkg:   "./internal/fairshare",
+			check: "maprange",
+			old:   "for _, g := range gpu.Generations() {\n\t\tsum += float64(capacities[g])\n\t}",
+			new:   "for _, c := range capacities {\n\t\tsum += float64(c)\n\t}",
 			// int-valued RHS converted to float64 accumulates into a
 			// float: order-sensitive again.
 			flagged: "sum += float64(c)",
@@ -217,6 +247,7 @@ func TestMutationDeletedGuardsAreCaught(t *testing.T) {
 		{
 			file:    "internal/fairshare/fairshare.go",
 			pkg:     "./internal/fairshare",
+			check:   "maprange",
 			old:     "\t// Deterministic iteration order regardless of map layout.\n\tsort.Slice(active, func(i, j int) bool { return active[i].id < active[j].id })\n",
 			new:     "\t_ = sort.Slice // keep the import\n",
 			flagged: "active = append(active, user{id, t, d})",
@@ -224,13 +255,81 @@ func TestMutationDeletedGuardsAreCaught(t *testing.T) {
 		{
 			file:    "internal/stride/classed.go",
 			pkg:     "./internal/stride",
+			check:   "maprange",
 			old:     "\tsort.Sort(sort.Reverse(sort.IntSlice(gangs)))\n",
 			new:     "\t_ = sort.Sort // keep the import\n",
 			flagged: "gangs = append(gangs, g)",
 		},
+		{
+			// Collect-then-sum one step removed from the map range:
+			// out of maprange's sight, floatsum's whole point.
+			file:    "internal/fairshare/fairshare.go",
+			pkg:     "./internal/fairshare",
+			check:   "floatsum",
+			old:     "for _, g := range gpu.Generations() {\n\t\tsum += float64(capacities[g])\n\t}",
+			new:     "var coll []float64\n\tfor _, cv := range capacities {\n\t\tcoll = append(coll, float64(cv))\n\t}\n\tfor _, cv := range coll {\n\t\tsum += cv\n\t}",
+			flagged: "sum += cv",
+		},
+		{
+			// Deleting trade.Run's defensive clone returns the caller's
+			// annotated allocation — the noretain param contract.
+			file:    "internal/trade/trade.go",
+			pkg:     "./internal/trade",
+			check:   "retain",
+			old:     "out := alloc.Clone()",
+			new:     "out := alloc",
+			flagged: "return out, log, nil",
+		},
+		{
+			// Retaining the fairshare solver's cached map beyond the
+			// round — the noretain result contract on Shares.
+			file:    "internal/core/sim.go",
+			pkg:     "./internal/core",
+			check:   "retain",
+			old:     "shares = s.fairSolver.Shares()",
+			new:     "shares = s.fairSolver.Shares()\n\t\tgo func() { _ = len(shares) }()",
+			flagged: "go func() { _ = len(shares) }()",
+		},
+		{
+			// A crash draw moved onto the scheduler's clock.
+			file:    "internal/faults/faults.go",
+			pkg:     "./internal/faults",
+			check:   "rngorder",
+			old:     "return in.rng.Float64() < in.crashProb",
+			new:     "go func() { _ = in.rng.Float64() }()\n\treturn in.rng.Float64() < in.crashProb",
+			flagged: "go func() { _ = in.rng.Float64() }()",
+		},
+		{
+			// Copying the registry copies its mutex.
+			file:    "internal/obs/registry.go",
+			pkg:     "./internal/obs",
+			check:   "lockcopy",
+			old:     "r.mu.Lock()\n\tdefer r.mu.Unlock()",
+			new:     "r.mu.Lock()\n\tdefer r.mu.Unlock()\n\tcp := *r\n\t_ = cp",
+			flagged: "cp := *r",
+		},
+		{
+			// Parking on a channel with the registry lock held.
+			file:    "internal/obs/registry.go",
+			pkg:     "./internal/obs",
+			check:   "lockhold",
+			old:     "r.mu.Lock()\n\tdefer r.mu.Unlock()",
+			new:     "r.mu.Lock()\n\tdefer r.mu.Unlock()\n\twaitCh := make(chan struct{})\n\t<-waitCh",
+			flagged: "<-waitCh",
+		},
+		{
+			// Deleting the placement span copy returns a view of the
+			// index's reused scratch buffer.
+			file:    "internal/placement/index.go",
+			pkg:     "./internal/placement",
+			check:   "scratchalias",
+			old:     "idx.spanOut = out[:0]\n\tsorted := make([]gpu.DeviceID, len(out))\n\tcopy(sorted, out)\n\tsort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })\n\treturn sorted",
+			new:     "idx.spanOut = out[:0]\n\tsort.Slice(out, func(i, j int) bool { return out[i] < out[j] })\n\treturn out",
+			flagged: "\treturn out",
+		},
 	}
 	for _, m := range muts {
-		t.Run(m.file+"/"+m.flagged, func(t *testing.T) {
+		t.Run(m.check+"/"+m.file, func(t *testing.T) {
 			full := filepath.Join(root, filepath.FromSlash(m.file))
 			src, err := os.ReadFile(full)
 			if err != nil {
@@ -248,11 +347,11 @@ func TestMutationDeletedGuardsAreCaught(t *testing.T) {
 			}, m.pkg)
 
 			for _, d := range diags {
-				if d.Check == "maprange" && strings.HasSuffix(filepath.ToSlash(d.File), m.file) && d.Line == wantLine {
+				if d.Check == m.check && strings.HasSuffix(filepath.ToSlash(d.File), m.file) && d.Line == wantLine {
 					return // caught at the exact line
 				}
 			}
-			t.Fatalf("deleting the guard produced no maprange diagnostic at %s:%d; got %v", m.file, wantLine, diags)
+			t.Fatalf("deleting the guard produced no %s diagnostic at %s:%d; got %v", m.check, m.file, wantLine, diags)
 		})
 	}
 }
@@ -268,12 +367,13 @@ func lineOf(t *testing.T, src []byte, substr string) int {
 }
 
 // TestRealModuleClean is the CI contract run in-process: the
-// repository itself must stay free of findings.
+// repository itself — test files included, exactly as CI invokes
+// gflint — must stay free of findings.
 func TestRealModuleClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("typechecks the whole module; skipped in -short")
 	}
-	if diags := runOver(t, LoadConfig{Dir: repoRoot(t)}, "./..."); len(diags) != 0 {
+	if diags := runOver(t, LoadConfig{Dir: repoRoot(t), Tests: true}, "./..."); len(diags) != 0 {
 		var b strings.Builder
 		for _, d := range diags {
 			b.WriteString(d.String())

@@ -24,6 +24,7 @@ type Package struct {
 	Info  *types.Info
 
 	directives map[string]map[int][]Directive // file → line → directives
+	annot      *annotations                   // loader-wide annotation registry
 }
 
 // LoadConfig controls package loading.
@@ -50,6 +51,7 @@ type Loader struct {
 	std     types.ImporterFrom
 	pkgs    map[string]*Package // by import path
 	loading map[string]bool     // import-cycle guard
+	annot   *annotations        // //gflint:noretain facts across all loads
 }
 
 // NewLoader builds a loader for the module rooted at cfg.Dir.
@@ -82,6 +84,7 @@ func NewLoader(cfg LoadConfig) (*Loader, error) {
 		std:     std,
 		pkgs:    make(map[string]*Package),
 		loading: make(map[string]bool),
+		annot:   newAnnotations(),
 	}, nil
 }
 
@@ -276,7 +279,13 @@ func (l *Loader) load(path string, asRoot bool) (*Package, error) {
 		Types:      tpkg,
 		Info:       info,
 		directives: collectDirectives(l.fset, files),
+		annot:      l.annot,
 	}
+	// Annotations are collected for dependencies too, so analyzers on
+	// root packages see contracts declared by the packages they import.
+	// A package loaded both as dep and as root-with-tests contributes
+	// twice (two object sets); duplicate problems collapse in Run.
+	l.annot.collectAnnotations(pkg)
 	l.pkgs[key] = pkg
 	return pkg, nil
 }

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RetainAnalyzer enforces //gflint:noretain contracts: values whose
+// backing storage the producer reuses (RoundState.Jobs, the engine's
+// scratch buffers, the fairshare solvers' cached maps) must not flow
+// into anything that outlives the call — a struct field, package-level
+// variable, closure, channel, or return value — without an explicit
+// copy.
+//
+// Taint enters through reads of annotated struct fields, uses of
+// annotated parameters, and calls to functions whose result carries
+// the annotation; it propagates through local assignments, reslices,
+// composite literals, and conversions (see taintEngine). Copies break
+// it: append into a fresh slice, the x[:0:0] idiom, or any ordinary
+// call result.
+//
+// Two flows are contracts rather than violations and are exempt: a
+// store INTO an annotated field (the owner refreshing its own buffer,
+// or a producer handing the buffer to its consumers), and a return
+// from a function whose own doc comment declares //gflint:noretain —
+// that passes the obligation to its callers, where this analyzer picks
+// it up again.
+var RetainAnalyzer = &Analyzer{
+	Name: "retain",
+	Doc:  "values under a //gflint:noretain contract escaping into fields, globals, closures, channels, or returns without a copy",
+	Run:  runRetain,
+}
+
+func runRetain(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkRetainFunc(pass, fd)
+		}
+	}
+}
+
+func checkRetainFunc(pass *Pass, fd *ast.FuncDecl) {
+	fnObj, _ := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+
+	t := &taintEngine{
+		pass:    pass,
+		decl:    fd,
+		tainted: make(map[types.Object]*Annotation),
+		source: func(e ast.Expr) *Annotation {
+			switch v := e.(type) {
+			case *ast.SelectorExpr:
+				return pass.Pkg.NoRetain(pass.ObjectOf(v.Sel))
+			case *ast.CallExpr:
+				return pass.Pkg.NoRetainResult(pass.CalleeFunc(v))
+			}
+			return nil
+		},
+		exemptStore: func(target ast.Expr) bool {
+			sel, ok := ast.Unparen(target).(*ast.SelectorExpr)
+			return ok && pass.Pkg.NoRetain(pass.ObjectOf(sel.Sel)) != nil
+		},
+		allowReturn: fnObj != nil && pass.Pkg.NoRetainResult(fnObj) != nil,
+	}
+
+	// Annotated parameters of this function are tainted from entry.
+	if fnObj != nil {
+		sig := fnObj.Type().(*types.Signature)
+		params := sig.Params()
+		for i := 0; i < params.Len(); i++ {
+			if a := pass.Pkg.NoRetain(params.At(i)); a != nil {
+				t.tainted[params.At(i)] = a
+			}
+		}
+	}
+
+	t.sink = func(pos token.Pos, action string, a *Annotation) {
+		pass.ReportRelated(pos,
+			[]Related{pass.Note(a.Pos, "noretain contract declared here")},
+			"%s must not be retained, but is %s — copy it first",
+			a.Desc, action)
+	}
+	t.run()
+}

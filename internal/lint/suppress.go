@@ -62,24 +62,70 @@ func (p *Package) directivesByFile(file string) (map[int][]Directive, bool) {
 	return m, ok
 }
 
-// suppressed reports whether a directive in pkg covers the diagnostic:
-// same check name, on the diagnostic's line or the line above.
-func suppressed(pkg *Package, d Diagnostic) bool {
+// directiveKey identifies one well-formed directive for usage
+// tracking (stale-suppression detection).
+type directiveKey struct {
+	File  string
+	Line  int
+	Check string
+}
+
+// suppressedBy resolves the directive in pkg covering the diagnostic —
+// same check name, on the diagnostic's line or the line above — so Run
+// can record that the directive earned its keep.
+func suppressedBy(pkg *Package, d Diagnostic) (directiveKey, bool) {
 	if pkg == nil {
-		return false
+		return directiveKey{}, false
 	}
 	byLine, ok := pkg.directivesByFile(d.File)
 	if !ok {
-		return false
+		return directiveKey{}, false
 	}
 	for _, line := range []int{d.Line, d.Line - 1} {
 		for _, dir := range byLine[line] {
 			if dir.Check == d.Check && dir.Reason != "" {
-				return true
+				return directiveKey{File: dir.File, Line: dir.Line, Check: dir.Check}, true
 			}
 		}
 	}
-	return false
+	return directiveKey{}, false
+}
+
+// staleDirectives reports well-formed directives whose check actually
+// ran (was among the selected analyzers) but suppressed nothing on the
+// covered lines. A stale directive means the hazard it excused is gone
+// — or was never there — and the justification now misleads readers.
+// Directives for checks outside the selected set are left alone, so a
+// -checks subset run never calls a directive stale.
+func staleDirectives(pkg *Package, ran map[string]bool, used map[directiveKey]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, byLine := range pkg.directives {
+		for _, dirs := range byLine {
+			for _, dir := range dirs {
+				if dir.Check == "" || dir.Reason == "" || !ran[dir.Check] {
+					continue // malformed ones are reported by directiveProblems
+				}
+				if used[directiveKey{File: dir.File, Line: dir.Line, Check: dir.Check}] {
+					continue
+				}
+				out = append(out, Diagnostic{
+					Check:   "directive",
+					File:    dir.File,
+					Line:    dir.Line,
+					Col:     pkg.Fset.Position(dir.pos).Column,
+					Message: "stale suppression: " + dir.Check + " reports nothing here; delete the directive",
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+	return out
 }
 
 // directiveProblems reports malformed suppression directives: missing

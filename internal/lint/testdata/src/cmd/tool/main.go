@@ -1,12 +1,16 @@
-// Command tool exercises the wallclock cmd/ allowlist: entry points
-// may read the wall clock.
+// Command tool exercises the cmd/ scope rules: wallclock and the
+// terminal printers are allowed, but a silently dropped error is
+// still errdrop's business.
 package main
 
 import (
 	"fmt"
+	"os"
 	"time"
 )
 
 func main() {
 	fmt.Println(time.Now())
+	fmt.Fprintln(os.Stderr, "starting")
+	os.Remove("state.tmp")
 }

@@ -1,0 +1,26 @@
+// Package annotfix exercises malformed //gflint:noretain
+// declarations; every annotation below is reported under check
+// "directive" instead of silently doing nothing.
+package annotfix
+
+type base struct{}
+
+// Wrapper puts the annotation on an embedded field, which has no
+// explicit name to bind the contract to.
+type Wrapper struct {
+	//gflint:noretain embedded fields are ambiguous
+	base
+}
+
+// VoidFunc has no result for a bare annotation to cover.
+//
+//gflint:noretain
+func VoidFunc() {}
+
+// WrongName names a parameter that does not exist.
+//
+//gflint:noretain nosuchparam
+func WrongName(buf []int) []int { return buf }
+
+//gflint:noretain a var declaration is neither a field nor a function
+var Floating int

@@ -1,0 +1,99 @@
+// Package retainfix exercises //gflint:noretain contracts in the
+// declaring package: annotated struct fields, annotated parameters,
+// and annotated-result functions. Functions prefixed Bad produce
+// retain findings; the rest demonstrate the sanctioned copy idioms.
+package retainfix
+
+// State is the fixture mirror of core.RoundState.
+type State struct {
+	//gflint:noretain backing array reused every round
+	Jobs []int
+
+	Tickets map[string]float64
+}
+
+// Engine owns a per-round scratch buffer.
+type Engine struct {
+	jobsBuf []int //gflint:noretain per-round scratch
+}
+
+var leaked []int
+
+// BadStoreGlobal parks the annotated field in a package-level var.
+func BadStoreGlobal(st *State) {
+	leaked = st.Jobs
+}
+
+// BadAlias retains through a local alias of a reslice.
+func BadAlias(st *State) {
+	view := st.Jobs[1:]
+	leaked = view
+}
+
+// BadReturn returns the annotated field without a copy.
+func BadReturn(st *State) []int {
+	return st.Jobs
+}
+
+// BadChannel sends the annotated field to another goroutine.
+func BadChannel(st *State, ch chan []int) {
+	ch <- st.Jobs
+}
+
+// BadGoroutine hands the annotated field to a spawned goroutine.
+func BadGoroutine(st *State) {
+	go func(js []int) { _ = js }(st.Jobs)
+}
+
+// BadCapture closes over the annotated field in a goroutine.
+func BadCapture(st *State) {
+	go func() { _ = len(st.Jobs) }()
+}
+
+// BadParamRetain violates its own declared parameter contract.
+//
+//gflint:noretain buf
+func BadParamRetain(buf []int) {
+	leaked = buf
+}
+
+// Scratch returns the engine's internal buffer; the annotation passes
+// the retention obligation to the callers.
+//
+//gflint:noretain
+func (e *Engine) Scratch() []int {
+	e.jobsBuf = e.jobsBuf[:0]
+	return e.jobsBuf
+}
+
+// BadScratchCaller retains an annotated-result value.
+func BadScratchCaller(e *Engine) {
+	leaked = e.Scratch()
+}
+
+// CopyOK copies before retaining.
+func CopyOK(st *State) {
+	cp := make([]int, len(st.Jobs))
+	copy(cp, st.Jobs)
+	leaked = cp
+}
+
+// ZeroCapOK copies via the append-to-x[:0:0] idiom.
+func ZeroCapOK(st *State) []int {
+	return append(st.Jobs[:0:0], st.Jobs...)
+}
+
+// ElementOK retains an element; the contract covers the backing
+// array, not what it points at.
+func ElementOK(st *State) int {
+	return st.Jobs[0]
+}
+
+// ConsumeOK reads the field in place — no retention.
+func ConsumeOK(st *State) int {
+	total := 0
+	for _, j := range st.Jobs {
+		total += j
+	}
+	return total
+}

@@ -1,0 +1,29 @@
+// Package retainpolicy is the fixture policy that violates the
+// noretain contract declared in another package: the annotation on
+// retainfix.State.Jobs travels with the field object, so a retaining
+// Decide in a different package is still caught.
+package retainpolicy
+
+import "repro/internal/retainfix"
+
+// Sticky keeps the round's job slice across rounds — the bug.
+type Sticky struct {
+	lastJobs []int
+}
+
+// Decide stores st.Jobs in a field that outlives the round.
+func (p *Sticky) Decide(st *retainfix.State) int {
+	p.lastJobs = st.Jobs
+	return len(p.lastJobs)
+}
+
+// Careful copies before keeping; clean.
+type Careful struct {
+	lastJobs []int
+}
+
+// Decide stores a forced copy of st.Jobs.
+func (p *Careful) Decide(st *retainfix.State) int {
+	p.lastJobs = append(p.lastJobs[:0:0], st.Jobs...)
+	return len(p.lastJobs)
+}

@@ -14,7 +14,10 @@ import (
 //
 // Allowlisted packages: internal/obs (phase profiling measures real
 // scheduler latency), internal/comm (a real network transport), and
-// everything under cmd/ (operator-facing tooling).
+// everything under cmd/ (operator-facing tooling). Test files are
+// skipped by design: tests legitimately guard against hangs with
+// real-time timeouts (time.After in a select around a blocking call),
+// and none of that runs inside the simulation.
 var WallClockAnalyzer = &Analyzer{
 	Name: "wallclock",
 	Doc:  "wall-clock time (time.Now/Since/Sleep/...) outside obs, comm, and cmd; sim logic uses internal/simclock",
@@ -44,6 +47,9 @@ func runWallClock(pass *Pass) {
 		}
 	}
 	for _, f := range pass.Pkg.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue // real-time test timeouts are not simulation logic
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {

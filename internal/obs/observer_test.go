@@ -149,7 +149,7 @@ func TestTradeRingAndCounters(t *testing.T) {
 		t.Errorf("trades = %+v", snap.Trades)
 	}
 	var b strings.Builder
-	o.Registry().WritePrometheus(&b)
+	_ = o.Registry().WritePrometheus(&b) // strings.Builder writes cannot fail
 	out := b.String()
 	for _, want := range []string{
 		"gf_trades_total 1",

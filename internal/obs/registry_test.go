@@ -85,7 +85,7 @@ func TestExpositionDeterministicOrder(t *testing.T) {
 		c.With("y").Inc()
 		c.With("x").Inc()
 		var b strings.Builder
-		r.WritePrometheus(&b)
+		_ = r.WritePrometheus(&b) // strings.Builder writes cannot fail
 		return b.String()
 	}
 	a, b := build(), build()
@@ -104,7 +104,7 @@ func TestLabelEscaping(t *testing.T) {
 	r := NewRegistry()
 	r.Gauge("esc", "", "v").With("a\"b\\c\nd").Set(1)
 	var b strings.Builder
-	r.WritePrometheus(&b)
+	_ = r.WritePrometheus(&b) // strings.Builder writes cannot fail
 	if !strings.Contains(b.String(), `esc{v="a\"b\\c\nd"} 1`) {
 		t.Errorf("escaping wrong:\n%s", b.String())
 	}

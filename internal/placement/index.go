@@ -89,10 +89,10 @@ type Index struct {
 	totalFree [gpu.NumGenerations]int
 
 	// Scratch reused across PlaceIndexed calls.
-	taken    []gpu.DeviceID // devices taken this call, for the baseline restore
-	order    []Request
-	prevSrvs []gpu.ServerID
-	spanOut  []gpu.DeviceID
+	taken    []gpu.DeviceID //gflint:noretain devices taken this call, for the baseline restore
+	order    []Request      //gflint:noretain per-call scratch
+	prevSrvs []gpu.ServerID //gflint:noretain per-call scratch
+	spanOut  []gpu.DeviceID //gflint:noretain per-call scratch
 }
 
 // NewIndex builds the index at baseline: all servers available, all

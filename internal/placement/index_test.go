@@ -97,7 +97,7 @@ func TestPlaceIndexedDifferential(t *testing.T) {
 
 			// Feed forward with churn: some jobs release their devices.
 			prev = got.Assignment.Clone()
-			for id := range prev {
+			for _, id := range job.SortedIDs(prev) {
 				if rng.Float64() < 0.2 {
 					delete(prev, id)
 				}

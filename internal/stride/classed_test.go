@@ -50,8 +50,8 @@ func TestClassedMixedGangFairnessAndUtilization(t *testing.T) {
 		t.Errorf("classed utilization %v, want ≥0.84", util)
 	}
 	var total float64
-	for _, v := range acc {
-		total += v
+	for _, id := range job.SortedIDs(acc) {
+		total += acc[id]
 	}
 	// Water-filled entitlements on 8 GPUs with demands (8,4,2,1,1,1)
 	// and equal tickets: singles cap at 1 each; remainder splits
@@ -106,8 +106,8 @@ func TestClassedCarryPersistsForBigGangs(t *testing.T) {
 	s := NewClassed()
 	acc, used := runClassed(s, cands, 4, 10000)
 	var total float64
-	for _, v := range acc {
-		total += v
+	for _, id := range job.SortedIDs(acc) {
+		total += acc[id]
 	}
 	if got := acc[10] / total; math.Abs(got-0.5) > 0.03 {
 		t.Errorf("big job share %v, want ≈0.5 (tickets 4 of 8)", got)

@@ -220,8 +220,8 @@ func TestBigGangNoStarvation(t *testing.T) {
 	}
 	acc := simulate(t, s, cands, 4, 14000, 60)
 	var total float64
-	for _, v := range acc {
-		total += v
+	for _, id := range job.SortedIDs(acc) {
+		total += acc[id]
 	}
 	got := acc[100] / total
 	if math.Abs(got-1.0/7) > 0.02 {
@@ -335,8 +335,8 @@ func waterfillPerRound(cands []Candidate, capacity int) map[job.ID]float64 {
 			return out
 		}
 		var used float64
-		for _, v := range out {
-			used += v
+		for _, id := range job.SortedIDs(out) {
+			used += out[id]
 		}
 		remaining = float64(capacity) - used
 		active = next

@@ -31,7 +31,7 @@ func TestDifferentialEngines(t *testing.T) {
 		t.Fatal(err)
 	}
 	grid, err := LoadGrid(f)
-	f.Close()
+	_ = f.Close()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestDifferentialEngines(t *testing.T) {
 		t.Fatal(err)
 	}
 	faulty, err := scenario.Load(sf)
-	sf.Close()
+	_ = sf.Close()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -126,6 +126,8 @@ const eps = 1e-9
 // into throughput if the seller has runnable work for them, so trades
 // are capped at the seller's spare demand (demand − current total).
 // A nil demands map disables the bound (all users backlogged).
+//
+//gflint:noretain alloc
 func Run(alloc fairshare.Allocation, vals Values, demands map[job.UserID]float64, cfg Config) (fairshare.Allocation, []Trade, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
