@@ -21,12 +21,26 @@
 // waits for the known agents to re-register instead of admitting a
 // fresh workload.
 //
+// The central speaks the partition-tolerant protocol when asked:
+// -lease-rounds N lets cut-off agents keep executing in degraded mode
+// for N rounds (their buffered reports reconcile on heal), and
+// -collect-deadline D is the straggler cutoff — the round proceeds
+// without agents that miss it and their late reports are charged
+// idempotently.
+//
 // The chaos subcommand runs the fault-injection harness in-process
 // (in-memory transport): an undisturbed baseline and a faulted run
 // with agent kill/rejoin, plan drops, report delays, and a central
 // snapshot/restore, exiting nonzero if per-user usage diverges:
 //
 //	gfdist chaos -seed 42 -kill-at 1 -snapshot-at 2 -snapshot-dir /tmp/snap
+//
+// With -netchaos it instead runs the deterministic network fault
+// matrix (duplication, reordering, corruption, drops, delays, one-way
+// and full partitions, plus a central crash+restore mid-partition)
+// and prints the per-user usage digests, which must be identical:
+//
+//	gfdist chaos -netchaos -seed 911
 package main
 
 import (
@@ -42,6 +56,7 @@ import (
 	"repro/internal/distrib"
 	"repro/internal/gpu"
 	"repro/internal/job"
+	"repro/internal/netchaos"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
 	"repro/internal/obs/span"
@@ -69,9 +84,10 @@ func usage() {
   gfdist central -listen ADDR -agents N [-users N -jobs N -hours H -no-trading] [-http ADDR]
                  [-pprof] [-flight FILE -flight-rounds N] [-spans-out FILE]
                  [-snapshot-dir DIR -snapshot-every N] [-restore]
+                 [-lease-rounds N] [-collect-deadline D]
   gfdist agent   -connect ADDR -name NAME -gen GEN -gpus N [-rejoin N]
   gfdist chaos   [-seed N -kill-at R -restart-after R -snapshot-at R -snapshot-dir DIR
-                 -drop-prob P -max-drops N]`)
+                 -drop-prob P -max-drops N] [-netchaos]`)
 	os.Exit(2)
 }
 
@@ -97,6 +113,8 @@ func runCentral(args []string) {
 		snapDir   = fs.String("snapshot-dir", "", "persist scheduler state to this directory after rounds")
 		snapEvery = fs.Int("snapshot-every", 1, "snapshot every N rounds (with -snapshot-dir)")
 		restore   = fs.Bool("restore", false, "resume from the snapshot in -snapshot-dir instead of a fresh workload")
+		leaseR    = fs.Int("lease-rounds", 0, "degraded-mode lease in rounds: cut-off agents keep executing and buffer reports for this long before parking (0 = legacy protocol)")
+		collectD  = fs.Duration("collect-deadline", 0, "straggler cutoff: proceed without agents that have not reported by this wall deadline (0 = use the report timeout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		fatal(err)
@@ -149,10 +167,12 @@ func runCentral(args []string) {
 		fatal(err)
 	}
 	ccfg := distrib.CentralConfig{
-		Quantum:       *quantum,
-		Obs:           observer,
-		SnapshotDir:   *snapDir,
-		SnapshotEvery: *snapEvery,
+		Quantum:         *quantum,
+		Obs:             observer,
+		SnapshotDir:     *snapDir,
+		SnapshotEvery:   *snapEvery,
+		LeaseRounds:     *leaseR,
+		CollectDeadline: *collectD,
 	}
 	wait := time.Duration(*waitSecs) * time.Second
 
@@ -301,21 +321,37 @@ func runChaos(args []string) {
 		dropProb     = fs.Float64("drop-prob", 0.3, "per-plan drop probability")
 		maxDrops     = fs.Int("max-drops", 2, "cap on dropped plans")
 		delayMS      = fs.Int("max-delay-ms", 5, "report delay upper bound, milliseconds")
+		netMatrix    = fs.Bool("netchaos", false, "run the deterministic network fault matrix (dup, reorder, corrupt, drop, delay, one-way and full partitions, central crash+restore) instead of the legacy script")
 	)
 	if err := fs.Parse(args); err != nil {
 		fatal(err)
 	}
 
-	sum, err := distrib.RunChaos(distrib.ChaosConfig{
-		Seed:               *seed,
-		DropProb:           *dropProb,
-		MaxDrops:           *maxDrops,
-		MaxDelay:           time.Duration(*delayMS) * time.Millisecond,
-		KillAtRound:        *killAt,
-		RestartAfterRounds: *restartAfter,
-		SnapshotAtRound:    *snapAt,
-		SnapshotDir:        *snapDir,
-	})
+	var cfg distrib.ChaosConfig
+	if *netMatrix {
+		dir := *snapDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "gfdist-netchaos-*")
+			if err != nil {
+				fatal(err)
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		cfg = distrib.NetChaosConfig(*seed, dir)
+	} else {
+		cfg = distrib.ChaosConfig{
+			Seed:               *seed,
+			DropProb:           *dropProb,
+			MaxDrops:           *maxDrops,
+			MaxDelay:           time.Duration(*delayMS) * time.Millisecond,
+			KillAtRound:        *killAt,
+			RestartAfterRounds: *restartAfter,
+			SnapshotAtRound:    *snapAt,
+			SnapshotDir:        *snapDir,
+		}
+	}
+	sum, err := distrib.RunChaos(cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -324,6 +360,20 @@ func runChaos(args []string) {
 	for _, e := range sum.Events {
 		fmt.Println("  fault:", e)
 	}
+	if len(sum.NetStats) > 0 {
+		var kinds []string
+		for k := range sum.NetStats {
+			kinds = append(kinds, string(k))
+		}
+		sort.Strings(kinds)
+		fmt.Print("network faults fired:")
+		for _, k := range kinds {
+			fmt.Printf(" %s=%d", k, sum.NetStats[netchaos.Kind(k)])
+		}
+		fmt.Println()
+	}
+	baseDigest, faultDigest := sum.Digests()
+	fmt.Printf("usage digest: baseline %s\n              faulted  %s\n", baseDigest, faultDigest)
 	var us []job.UserID
 	for u := range sum.Baseline.UsageByUser {
 		us = append(us, u)

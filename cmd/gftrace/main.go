@@ -134,6 +134,8 @@ var faultKinds = map[trace.Kind]bool{
 	trace.KindJobCrash: true, trace.KindMigFail: true,
 	trace.KindQuarantine: true, trace.KindUnquarantine: true,
 	trace.KindDegrade: true, trace.KindDegradeEnd: true,
+	trace.KindLeaseExpire: true, trace.KindPartitionHeal: true,
+	trace.KindFenceReject: true,
 }
 
 // summarizeEvents loads an event trace written by gfsim -trace-out

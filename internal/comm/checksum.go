@@ -1,0 +1,133 @@
+package comm
+
+import (
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sync"
+)
+
+// encodeMessage gob-encodes m (as an interface value, so the concrete
+// type must be registered) into w.
+func encodeMessage(w io.Writer, m Message) error {
+	if m == nil {
+		return fmt.Errorf("comm: nil message")
+	}
+	return gob.NewEncoder(w).Encode(&m)
+}
+
+// Checksum returns the FNV-64a hash of m's gob encoding. Gob encoding
+// of the registered protocol structs is deterministic (a fresh
+// encoder always emits the same type preamble for the same concrete
+// type), so sender and receiver compute identical sums for identical
+// payloads. Messages gob cannot encode (unregistered test doubles,
+// nil) return an error; callers treat them as unsealable.
+func Checksum(m Message) (uint64, error) {
+	h := fnv.New64a()
+	if err := encodeMessage(h, m); err != nil {
+		return 0, err
+	}
+	return h.Sum64(), nil
+}
+
+// Seal stamps e.Sum with the payload checksum. Zero is reserved to
+// mean "unsealed", so a (vanishingly unlikely) zero hash is mapped to
+// one. Sealing an unencodable payload returns the envelope unchanged
+// along with the error.
+func Seal(e Envelope) (Envelope, error) {
+	sum, err := Checksum(e.Msg)
+	if err != nil {
+		return e, err
+	}
+	if sum == 0 {
+		sum = 1
+	}
+	e.Sum = sum
+	return e, nil
+}
+
+// Verify reports whether the envelope's payload matches its checksum.
+// Unsealed envelopes (Sum 0) pass: sealing is opt-in, so raw
+// Transport.Send callers and old peers keep working. A sealed
+// envelope whose payload no longer hashes to Sum — corruption in
+// flight — fails, as does one whose payload became unencodable.
+func Verify(e Envelope) bool {
+	if e.Sum == 0 {
+		return true
+	}
+	sum, err := Checksum(e.Msg)
+	if err != nil {
+		return false
+	}
+	if sum == 0 {
+		sum = 1
+	}
+	return sum == e.Sum
+}
+
+// Dedup detects redelivered sequenced envelopes per peer. Memory is
+// bounded: once a peer's seen-set exceeds the window, sequence
+// numbers far below its maximum are pruned and treated as already
+// seen (they are, by the sender's monotonicity, ancient retransmits).
+// Safe for concurrent use.
+type Dedup struct {
+	mu     sync.Mutex
+	window int
+	peers  map[string]*peerSeen
+}
+
+type peerSeen struct {
+	seen  map[uint64]bool
+	max   uint64
+	floor uint64 // every seq <= floor counts as seen
+}
+
+// NewDedup builds a Dedup with a 4096-sequence window per peer.
+func NewDedup() *Dedup {
+	return &Dedup{window: 4096, peers: make(map[string]*peerSeen)}
+}
+
+// Duplicate records (from, seq) and reports whether it was already
+// seen. Unsequenced envelopes (seq 0) are never duplicates.
+func (d *Dedup) Duplicate(from string, seq uint64) bool {
+	if seq == 0 {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p := d.peers[from]
+	if p == nil {
+		p = &peerSeen{seen: make(map[uint64]bool)}
+		d.peers[from] = p
+	}
+	if seq <= p.floor || p.seen[seq] {
+		return true
+	}
+	p.seen[seq] = true
+	if seq > p.max {
+		p.max = seq
+	}
+	if len(p.seen) > d.window {
+		floor := uint64(0)
+		if p.max > uint64(d.window/2) {
+			floor = p.max - uint64(d.window/2)
+		}
+		p.floor = floor
+		for s := range p.seen {
+			if s <= floor {
+				delete(p.seen, s)
+			}
+		}
+	}
+	return false
+}
+
+// Reset forgets a peer's history. Called when a peer legitimately
+// restarts (a fresh Register): its new process restarts its sequence
+// space, which must not collide with its predecessor's.
+func (d *Dedup) Reset(from string) {
+	d.mu.Lock()
+	delete(d.peers, from)
+	d.mu.Unlock()
+}

@@ -19,9 +19,23 @@ import (
 // gob in this package's init so they cross the TCP transport.
 type Message interface{}
 
-// Envelope wraps a message with its sender.
+// Envelope wraps a message with its sender plus the two fields the
+// partition-tolerant protocol rides on:
+//
+//   - Seq is a per-sender (strictly: per Retrier, per destination)
+//     monotone sequence number. Receivers feed it to Dedup so a
+//     duplicated or replayed delivery is detected and dropped. Zero
+//     means "unsequenced" — raw Transport.Send callers and old peers
+//     keep working, they just opt out of duplicate detection.
+//   - Sum is a checksum over the gob encoding of Msg (see Seal).
+//     Receivers call Verify before acting on a message, so payload
+//     corruption on the wire is detected and counted, never applied.
+//     Zero means "unsealed" and passes verification for the same
+//     backward-compatibility reason.
 type Envelope struct {
 	From string
+	Seq  uint64
+	Sum  uint64
 	Msg  Message
 }
 
@@ -68,6 +82,12 @@ type JobAssignment struct {
 	DoneMB, TotalMB float64
 	GangRate        float64 // whole-gang minibatches/sec on this agent's generation
 	Overhead        float64 // seconds lost to resume/migration this quantum
+
+	// Shard is the fraction of the job's gang running on this agent
+	// (1 for single-server jobs). Degraded-mode agents only trust
+	// their local progress for whole jobs, never cross-server shards.
+	// Zero (a plan from an old central) is read as 1.
+	Shard float64
 }
 
 // RoundPlan is the central scheduler's decision for one agent.
@@ -75,6 +95,25 @@ type RoundPlan struct {
 	Round   int
 	Quantum float64 // seconds of training time this round
 	Jobs    []JobAssignment
+
+	// Epoch fences central incarnations: it increases monotonically
+	// across central restarts (persisted in the snapshot), agents
+	// reject plans older than the newest epoch they have seen, and the
+	// central rejects reports from older epochs — a restarted or
+	// partitioned-then-healed central can never split-brain the
+	// cluster. Zero means an unfenced (legacy/test) plan.
+	Epoch int
+
+	// Lease is the degraded-mode budget in rounds: an agent cut off
+	// from the central keeps its local job state and buffers unacked
+	// reports for up to Lease rounds before parking (discarding) them.
+	// Zero disables degraded mode (exactly the pre-lease protocol).
+	Lease int
+
+	// AckRound is the highest round of this agent's reports the
+	// central has applied; the agent prunes its resend backlog up to
+	// it (cumulative ack).
+	AckRound int
 
 	// Trace/Span propagate the central scheduler's trace context so
 	// one logical round forms a single cross-process trace: Trace is
@@ -99,6 +138,10 @@ type RoundReport struct {
 	Agent string
 	Round int
 	Jobs  []JobProgress
+
+	// Epoch echoes the plan's epoch so the central can fence reports
+	// produced under a previous incarnation (zero = unfenced).
+	Epoch int
 
 	// Spans are the agent's spans for this round (present only when
 	// the plan carried a trace context); the central scheduler

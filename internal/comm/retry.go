@@ -24,6 +24,14 @@ type RetryPolicy struct {
 	JitterFrac float64
 	Seed       int64
 
+	// SeqBase offsets the per-destination sequence numbers this
+	// Retrier stamps onto outbound envelopes (the first send to a
+	// destination carries SeqBase+1). Epoch-scoped senders — a
+	// restarted central — set it so a new incarnation's sequence space
+	// never collides with its predecessor's at receivers that kept
+	// their dedup history.
+	SeqBase uint64
+
 	// Sleep is a test hook; nil means time.Sleep.
 	Sleep func(time.Duration)
 	// OnRetry, if set, observes every retry (attempt numbers the
@@ -62,13 +70,14 @@ type Retrier struct {
 	pol RetryPolicy
 	mu  sync.Mutex
 	rng *rand.Rand
+	seq map[string]uint64 // per-destination sequence counters
 }
 
 // NewRetrier builds a Retrier; zero-value fields of pol take the
 // documented defaults.
 func NewRetrier(pol RetryPolicy) *Retrier {
 	pol = pol.withDefaults()
-	return &Retrier{pol: pol, rng: rand.New(rand.NewSource(pol.Seed))}
+	return &Retrier{pol: pol, rng: rand.New(rand.NewSource(pol.Seed)), seq: make(map[string]uint64)}
 }
 
 // delay returns the jittered backoff before retry number n (1-based).
@@ -85,7 +94,26 @@ func (r *Retrier) delay(n int) time.Duration {
 
 // Send attempts tr.Send up to MaxAttempts times, backing off between
 // attempts. It returns the last error when every attempt fails.
+//
+// Unless the caller pre-stamped them, Send assigns the envelope a
+// per-destination sequence number and seals it with the payload
+// checksum. Both happen once, before the first attempt, so every
+// retry of one logical send carries the same Seq — a retry that races
+// a slow first delivery is detected as a duplicate at the receiver,
+// never applied twice. Payloads gob cannot encode travel unsealed
+// (Sum 0), exactly like a raw Transport.Send.
 func (r *Retrier) Send(tr Transport, to string, e Envelope) error {
+	if e.Seq == 0 {
+		r.mu.Lock()
+		r.seq[to]++
+		e.Seq = r.pol.SeqBase + r.seq[to]
+		r.mu.Unlock()
+	}
+	if e.Sum == 0 {
+		if sealed, err := Seal(e); err == nil {
+			e = sealed
+		}
+	}
 	var err error
 	for attempt := 1; ; attempt++ {
 		if err = tr.Send(to, e); err == nil {

@@ -1,6 +1,8 @@
 package distrib
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"math"
 	"math/rand"
@@ -9,8 +11,10 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/gpu"
 	"repro/internal/job"
+	"repro/internal/netchaos"
 	"repro/internal/obs"
 	"repro/internal/simclock"
 	"repro/internal/workload"
@@ -62,7 +66,27 @@ type ChaosConfig struct {
 	SnapshotAtRound int    // crash+restore the central after this round (0 = never)
 	SnapshotDir     string // required when SnapshotAtRound > 0
 
-	Obs *obs.Observer // instruments the faulted run's central (optional)
+	// Net scripts a deterministic network fault schedule (drops,
+	// duplication, reordering, delay, corruption, partitions) injected
+	// into the faulted run's links; see internal/netchaos. Nil injects
+	// nothing.
+	Net *netchaos.Config
+
+	// LeaseRounds and CollectDeadline configure the partition-tolerant
+	// protocol on both runs (see CentralConfig); zero values keep the
+	// legacy protocol.
+	LeaseRounds     int
+	CollectDeadline time.Duration
+
+	// AllowUsageDrift tolerates per-user usage exceeding the baseline
+	// instead of demanding byte-identity. Arbitrary (e.g. fuzzed)
+	// fault schedules can legitimately add charged rounds — a reorder
+	// that holds a job's finishing report forces one more planned
+	// round — but must never lose one, so drift is only ever upward.
+	// Curated schedules like NetChaosConfig keep this false.
+	AllowUsageDrift bool
+
+	Obs *obs.Observer // instruments the faulted run's central and agents (optional)
 }
 
 func (cfg ChaosConfig) withDefaults() ChaosConfig {
@@ -110,6 +134,31 @@ type ChaosSummary struct {
 	Events []string
 	// DroppedPlans is how many round plans the chaos layer swallowed.
 	DroppedPlans int
+	// NetStats counts how often each network fault kind fired (empty
+	// when no netchaos schedule was configured).
+	NetStats map[netchaos.Kind]int
+}
+
+// UsageDigest fingerprints a run's per-user occupied usage: a SHA-256
+// over the sorted users and the exact bit patterns of their GPU-second
+// totals. Two runs with byte-identical fairness books produce the same
+// digest, so CI can compare a disturbed matrix against its baseline
+// with one string.
+func UsageDigest(s *Summary) string {
+	h := sha256.New()
+	for _, u := range job.SortedUsers(s.UsageByUser) {
+		_, _ = h.Write([]byte(u))
+		_, _ = h.Write([]byte{0})
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(s.UsageByUser[u]))
+		_, _ = h.Write(buf[:])
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// Digests returns (baseline, faulted) usage digests.
+func (s *ChaosSummary) Digests() (string, string) {
+	return UsageDigest(s.Baseline), UsageDigest(s.Faulted)
 }
 
 // UsageIdentical reports whether both runs finished with exactly the
@@ -203,7 +252,7 @@ type chaosAgent struct {
 	done chan error
 }
 
-func startChaosAgent(hub *comm.Hub, name string, gpus int, seed int64, maxDelay time.Duration) (*chaosAgent, error) {
+func startChaosAgent(hub *comm.Hub, name string, gpus int, seed int64, maxDelay time.Duration, inj *netchaos.Injector, o *obs.Observer) (*chaosAgent, error) {
 	tr, err := hub.Attach(name)
 	if err != nil {
 		return nil, err
@@ -212,11 +261,15 @@ func startChaosAgent(hub *comm.Hub, name string, gpus int, seed int64, maxDelay 
 	if maxDelay > 0 {
 		wire = &delaySend{Transport: tr, rng: rand.New(rand.NewSource(seed)), maxDelay: maxDelay}
 	}
+	if inj != nil {
+		wire = inj.Wrap(wire)
+	}
 	a, err := NewAgent(wire, "central", gpu.K80, gpus)
 	if err != nil {
 		_ = tr.Close()
 		return nil, err
 	}
+	a.SetObserver(o)
 	a.SetRetry(fastRetry(seed))
 	ca := &chaosAgent{tr: tr, done: make(chan error, 1)}
 	go func() { ca.done <- a.Run() }()
@@ -233,15 +286,17 @@ func runUndisturbed(cfg ChaosConfig, specs []job.Spec) (*Summary, error) {
 	}
 	agents := make([]*chaosAgent, cfg.Agents)
 	for i := range agents {
-		if agents[i], err = startChaosAgent(hub, fmt.Sprintf("agent-%d", i), cfg.GPUsPerAgent, cfg.Seed+int64(i), 0); err != nil {
+		if agents[i], err = startChaosAgent(hub, fmt.Sprintf("agent-%d", i), cfg.GPUsPerAgent, cfg.Seed+int64(i), 0, nil, nil); err != nil {
 			return nil, err
 		}
 	}
 	central, err := NewCentral(ctr, core.MustNewFairPolicy(core.FairConfig{}), CentralConfig{
-		Specs:         specs,
-		Quantum:       cfg.Quantum,
-		ReportTimeout: cfg.ReportTimeout,
-		Retry:         fastRetry(cfg.Seed),
+		Specs:           specs,
+		Quantum:         cfg.Quantum,
+		ReportTimeout:   cfg.ReportTimeout,
+		CollectDeadline: cfg.CollectDeadline,
+		LeaseRounds:     cfg.LeaseRounds,
+		Retry:           fastRetry(cfg.Seed),
 	})
 	if err != nil {
 		return nil, err
@@ -301,28 +356,40 @@ func RunChaos(cfg ChaosConfig) (*ChaosSummary, error) {
 	if err != nil {
 		return nil, err
 	}
-	wire := &chaosSend{
+	dropWire := &chaosSend{
 		Transport: ctr,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		dropProb:  cfg.DropProb,
 		maxDrops:  cfg.MaxDrops,
 	}
+	var wire comm.Transport = dropWire
+	var inj *netchaos.Injector
+	if cfg.Net != nil {
+		net := *cfg.Net
+		if net.Obs == nil {
+			net.Obs = cfg.Obs
+		}
+		inj = netchaos.New(net)
+		wire = inj.Wrap(wire)
+	}
 	agents := make(map[string]*chaosAgent, cfg.Agents)
 	for i := 0; i < cfg.Agents; i++ {
 		name := fmt.Sprintf("agent-%d", i)
-		a, err := startChaosAgent(hub, name, cfg.GPUsPerAgent, cfg.Seed+int64(i), cfg.MaxDelay)
+		a, err := startChaosAgent(hub, name, cfg.GPUsPerAgent, cfg.Seed+int64(i), cfg.MaxDelay, inj, cfg.Obs)
 		if err != nil {
 			return nil, err
 		}
 		agents[name] = a
 	}
 	ccfg := CentralConfig{
-		Specs:         specs,
-		Quantum:       cfg.Quantum,
-		ReportTimeout: cfg.ReportTimeout,
-		Retry:         fastRetry(cfg.Seed),
-		SnapshotDir:   cfg.SnapshotDir,
-		Obs:           cfg.Obs,
+		Specs:           specs,
+		Quantum:         cfg.Quantum,
+		ReportTimeout:   cfg.ReportTimeout,
+		CollectDeadline: cfg.CollectDeadline,
+		LeaseRounds:     cfg.LeaseRounds,
+		Retry:           fastRetry(cfg.Seed),
+		SnapshotDir:     cfg.SnapshotDir,
+		Obs:             cfg.Obs,
 	}
 	central, err := NewCentral(ctr, core.MustNewFairPolicy(core.FairConfig{}), ccfg)
 	if err != nil {
@@ -342,6 +409,11 @@ func RunChaos(cfg ChaosConfig) (*ChaosSummary, error) {
 		faulted   *Summary
 	)
 	for step := 0; step < cfg.MaxRounds; step++ {
+		if inj != nil {
+			// The round about to execute: fault windows switch and
+			// delayed messages release ahead of its traffic.
+			inj.Advance(central.rounds + 1)
+		}
 		sum, err := central.Steps(1)
 		if err != nil {
 			return nil, fmt.Errorf("distrib: faulted run, round %d: %w", sum.Rounds, err)
@@ -365,7 +437,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosSummary, error) {
 			}
 		}
 		if killed && !restarted && round >= cfg.KillAtRound+cfg.RestartAfterRounds {
-			a, err := startChaosAgent(hub, victim, cfg.GPUsPerAgent, cfg.Seed+100, cfg.MaxDelay)
+			a, err := startChaosAgent(hub, victim, cfg.GPUsPerAgent, cfg.Seed+100, cfg.MaxDelay, inj, cfg.Obs)
 			if err != nil {
 				return nil, fmt.Errorf("distrib: restarting %s: %w", victim, err)
 			}
@@ -387,6 +459,10 @@ func RunChaos(cfg ChaosConfig) (*ChaosSummary, error) {
 				fmt.Sprintf("round %d: central crashed, restored from snapshot at round %d", round, st.SavedRound))
 		}
 	}
+	if inj != nil {
+		inj.Flush()
+		out.NetStats = inj.Stats()
+	}
 	central.ShutdownAgents()
 	for name, a := range agents {
 		if err := waitAgent(a); err != nil {
@@ -394,7 +470,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosSummary, error) {
 		}
 	}
 	out.Faulted = faulted
-	out.DroppedPlans = wire.dropped
+	out.DroppedPlans = dropWire.dropped
 
 	// Invariants.
 	if faulted == nil || faulted.Unfinished != 0 {
@@ -414,8 +490,17 @@ func RunChaos(cfg ChaosConfig) (*ChaosSummary, error) {
 		}
 	}
 	if !out.UsageIdentical() {
-		return nil, fmt.Errorf("distrib: per-user usage diverged: baseline %v, faulted %v",
-			baseline.UsageByUser, faulted.UsageByUser)
+		if !cfg.AllowUsageDrift {
+			return nil, fmt.Errorf("distrib: per-user usage diverged: baseline %v, faulted %v",
+				baseline.UsageByUser, faulted.UsageByUser)
+		}
+		// Drift is tolerated but must balance: a fault may cost a job
+		// an extra charged round, never erase one.
+		for u, b := range baseline.UsageByUser {
+			if f := faulted.UsageByUser[u]; f < b-1e-6 {
+				return nil, fmt.Errorf("distrib: user %s lost usage under faults: baseline %v, faulted %v", u, b, f)
+			}
+		}
 	}
 	// Guard against a degenerate comparison (nothing ran at all).
 	var total float64
@@ -427,4 +512,58 @@ func RunChaos(cfg ChaosConfig) (*ChaosSummary, error) {
 		return nil, fmt.Errorf("distrib: faulted run recorded no usage")
 	}
 	return out, nil
+}
+
+// NetChaosConfig scripts the standard partition-tolerance matrix: one
+// deterministic run that exercises every network fault kind plus a
+// central crash/restore mid-schedule, shaped so the faulted run's
+// per-user usage digest must stay byte-identical to the baseline's.
+//
+// Shape: 2 users × 3 single-GPU jobs on 3 agents × 2 GPUs — every
+// agent stays busy, so placement is static and the books depend only
+// on how many rounds each job is charged. Jobs are sized to 4.2
+// quanta (5 charged rounds each; the 0.8-quantum slack absorbs resume
+// overheads), and the lease of 4 rounds covers the longest outage.
+//
+// The schedule, by agent (round windows are half-open):
+//   - agent-0: its reports are duplicated (rounds 1–2, dedup must
+//     drop the copies), reordered (rounds 3–4, the displaced report
+//     reconciles late), and one is corrupted (round 5, detected by
+//     checksum and never applied);
+//   - agent-1: one plan is dropped (round 2, an uncharged lost
+//     round), its round-5 report is delayed across the central's
+//     crash/restore after round 5 — the old-epoch report must be
+//     fence-rejected — and it is fully partitioned rounds 6–7
+//     (undeliverable plans charge immediate misses);
+//   - agent-2: its round-2 report is delayed one round (straggler past
+//     the collect deadline, reconciled next round) and its report path
+//     is cut one-way rounds 3–4 (degraded mode: it keeps executing
+//     leased plans and its backlog reconciles on heal).
+func NetChaosConfig(seed int64, snapshotDir string) ChaosConfig {
+	return ChaosConfig{
+		Seed:            seed,
+		Users:           2,
+		JobsPerUser:     3,
+		JobQuanta:       4.2,
+		Agents:          3,
+		GPUsPerAgent:    2,
+		ReportTimeout:   250 * time.Millisecond,
+		CollectDeadline: 250 * time.Millisecond,
+		LeaseRounds:     4,
+		SnapshotAtRound: 5,
+		SnapshotDir:     snapshotDir,
+		Net: &netchaos.Config{
+			Seed: seed,
+			Faults: []netchaos.Fault{
+				{Kind: netchaos.Dup, From: "agent-0", To: "central", Rounds: faults.RoundInterval{From: 1, To: 3}},
+				{Kind: netchaos.Reorder, From: "agent-0", To: "central", Rounds: faults.RoundInterval{From: 3, To: 5}},
+				{Kind: netchaos.Corrupt, From: "agent-0", To: "central", Rounds: faults.RoundInterval{From: 5, To: 6}, Max: 1},
+				{Kind: netchaos.Drop, From: "central", To: "agent-1", Rounds: faults.RoundInterval{From: 2, To: 3}, Max: 1},
+				{Kind: netchaos.Delay, From: "agent-1", To: "central", Rounds: faults.RoundInterval{From: 5, To: 6}},
+				{Kind: netchaos.Partition, From: "central", To: "agent-1", Rounds: faults.RoundInterval{From: 6, To: 8}},
+				{Kind: netchaos.Delay, From: "agent-2", To: "central", Rounds: faults.RoundInterval{From: 2, To: 3}},
+				{Kind: netchaos.OneWay, From: "agent-2", To: "central", Rounds: faults.RoundInterval{From: 3, To: 5}},
+			},
+		},
+	}
 }

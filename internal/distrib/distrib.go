@@ -26,6 +26,7 @@ import (
 	"repro/internal/placement"
 	"repro/internal/profiler"
 	"repro/internal/simclock"
+	"repro/internal/trace"
 )
 
 // ErrTransportClosed reports that an agent's transport closed before
@@ -35,6 +36,15 @@ var ErrTransportClosed = errors.New("distrib: transport closed before shutdown")
 
 // Agent executes round plans for one server. Run blocks until
 // Shutdown or transport closure.
+//
+// Beyond plain execution the agent speaks the partition-tolerant
+// protocol: it verifies envelope checksums, drops duplicate
+// deliveries, fences plans from stale central epochs, and — when
+// plans carry a lease — keeps local job state and a backlog of
+// unacknowledged reports so a report-path partition degrades service
+// instead of losing work (the central reconciles the backlog on
+// heal). All of that state is plan-paced: the agent never speculates
+// on wall-clock time, so runs stay deterministic.
 type Agent struct {
 	tr      comm.Transport
 	central string
@@ -43,6 +53,18 @@ type Agent struct {
 	obs     *obs.Observer
 	retry   *comm.Retrier
 	tracer  *span.Tracer // lazily created on the first traced plan
+
+	dedup     *comm.Dedup
+	epoch     int // newest central epoch seen (0 until the first fenced plan)
+	lastRound int // newest round executed within the current epoch
+	// local carries per-job progress while a lease is active, so a
+	// degraded agent keeps training past a stale plan's checkpoint
+	// instead of redoing work the central never heard about.
+	local map[int64]float64
+	// backlog holds executed-but-unacknowledged reports, oldest
+	// first; it is resent ahead of each new report and pruned by the
+	// plans' cumulative AckRound.
+	backlog []comm.RoundReport
 }
 
 // SetObserver attaches instrumentation (nil is fine and is the
@@ -72,7 +94,7 @@ func NewAgent(tr comm.Transport, central string, gen gpu.Generation, gpus int) (
 	if !gen.Valid() || gpus <= 0 {
 		return nil, fmt.Errorf("distrib: invalid server inventory")
 	}
-	a := &Agent{tr: tr, central: central, gen: gen, gpus: gpus}
+	a := &Agent{tr: tr, central: central, gen: gen, gpus: gpus, dedup: comm.NewDedup()}
 	a.retry = a.newRetrier(comm.RetryPolicy{})
 	return a, nil
 }
@@ -91,23 +113,100 @@ func (a *Agent) Run() error {
 	}
 	a.obs.NoteProtocol("register_sent")
 	for env := range a.tr.Recv() {
+		if !comm.Verify(env) {
+			a.obs.NoteProtocol("corrupt_detected")
+			continue
+		}
+		if a.dedup.Duplicate(env.From, env.Seq) {
+			a.obs.NoteProtocol("dup_dropped")
+			continue
+		}
 		switch m := env.Msg.(type) {
 		case comm.RegisterAck:
 			if !m.OK {
 				return fmt.Errorf("distrib: registration rejected: %s", m.Reason)
 			}
 		case comm.RoundPlan:
-			a.obs.NoteProtocol("plan_received")
-			rep := a.execute(m)
-			if err := a.retry.Send(a.tr, a.central, comm.Envelope{From: a.tr.Name(), Msg: rep}); err != nil {
-				return err
+			if m.Epoch > 0 {
+				if m.Epoch < a.epoch {
+					// A plan from a dead central incarnation: acting on
+					// it would split-brain the cluster.
+					a.obs.NoteProtocol("fence_reject")
+					continue
+				}
+				if m.Epoch > a.epoch {
+					// New central incarnation: everything local belongs
+					// to an epoch whose books are closed. The plan's
+					// checkpoint is the authoritative restart point.
+					a.epoch = m.Epoch
+					a.lastRound = 0
+					a.local = nil
+					a.backlog = nil
+				}
+				if m.Round <= a.lastRound {
+					// Duplicate or reordered plan for a round already
+					// executed; running it again would double work.
+					a.obs.NoteProtocol("stale_plan_dropped")
+					continue
+				}
 			}
-			a.obs.NoteProtocol("report_sent")
+			a.obs.NoteProtocol("plan_received")
+			a.pruneAcked(m.AckRound)
+			if m.Lease > 0 && len(a.backlog) > 0 && a.backlog[0].Round <= m.Round-m.Lease {
+				// Lease expired: the oldest unacknowledged round has
+				// aged out of the central's reconciliation window, so
+				// that work can never be credited. Park at the plan's
+				// checkpoint: drop local state and resync to the
+				// central's view.
+				a.local = nil
+				a.backlog = nil
+				a.obs.NoteProtocol("lease_expired")
+			}
+			rep := a.execute(m)
+			a.lastRound = m.Round
+			if m.Lease > 0 {
+				a.backlog = append(a.backlog, rep)
+				if err := a.sendBacklog(); err != nil {
+					// The report path is down. The lease covers us:
+					// keep executing plans (they may still arrive on an
+					// asymmetric partition) and keep buffering; the
+					// central reconciles the backlog on heal.
+					a.obs.NoteProtocol("report_send_failed")
+					continue
+				}
+				a.obs.NoteProtocol("report_sent")
+			} else {
+				if err := a.retry.Send(a.tr, a.central, comm.Envelope{From: a.tr.Name(), Msg: rep}); err != nil {
+					return err
+				}
+				a.obs.NoteProtocol("report_sent")
+			}
 		case comm.Shutdown:
 			return nil
 		}
 	}
 	return ErrTransportClosed
+}
+
+// pruneAcked drops backlog entries the central has applied (AckRound
+// is a cumulative ack).
+func (a *Agent) pruneAcked(ackRound int) {
+	for len(a.backlog) > 0 && a.backlog[0].Round <= ackRound {
+		a.backlog = a.backlog[1:]
+	}
+}
+
+// sendBacklog ships the unacknowledged window oldest-first (the
+// current round's report is its newest entry). Replayed entries are
+// idempotent at the central: its per-(agent, round) applied set
+// drops rounds it already counted.
+func (a *Agent) sendBacklog() error {
+	for _, r := range a.backlog {
+		if err := a.retry.Send(a.tr, a.central, comm.Envelope{From: a.tr.Name(), Msg: r}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // execute runs one quantum's worth of training for the assigned jobs.
@@ -116,7 +215,7 @@ func (a *Agent) Run() error {
 // the agent's spans parent under the central round root and ride back
 // on the report.
 func (a *Agent) execute(plan comm.RoundPlan) comm.RoundReport {
-	rep := comm.RoundReport{Agent: a.tr.Name(), Round: plan.Round}
+	rep := comm.RoundReport{Agent: a.tr.Name(), Round: plan.Round, Epoch: plan.Epoch}
 	var execSpan span.ID
 	traced := plan.Trace != 0
 	if traced {
@@ -132,6 +231,17 @@ func (a *Agent) execute(plan comm.RoundPlan) comm.RoundReport {
 			useful = 0
 		}
 		done := as.DoneMB
+		// Whole jobs (never cross-server shards) under a lease trust
+		// local progress over the plan's checkpoint: a plan built
+		// while our reports were cut off carries a stale base, and
+		// redoing that work would both waste the quantum and
+		// double-charge usage once the backlog reconciles.
+		wholeJob := as.Shard == 0 || as.Shard >= 1
+		if plan.Lease > 0 && wholeJob {
+			if ld, ok := a.local[as.JobID]; ok && ld > done {
+				done = ld
+			}
+		}
 		used := useful
 		finished := false
 		if as.GangRate > 0 {
@@ -146,9 +256,35 @@ func (a *Agent) execute(plan comm.RoundPlan) comm.RoundReport {
 		} else {
 			used = 0
 		}
+		if plan.Lease > 0 && wholeJob {
+			if a.local == nil {
+				a.local = make(map[int64]float64)
+			}
+			a.local[as.JobID] = done
+		}
 		rep.Jobs = append(rep.Jobs, comm.JobProgress{
 			JobID: as.JobID, DoneMB: done, Finished: finished, UsedSecs: used,
 		})
+	}
+	if plan.Lease > 0 && len(a.backlog) == 0 && len(a.local) > 0 {
+		// Nothing awaits reconciliation, so local state for jobs no
+		// longer assigned here is stale (they migrated or finished;
+		// their truth lives centrally). Keeping it could skip work if
+		// a job ever returns after the central discarded progress.
+		inPlan := make(map[int64]bool, len(plan.Jobs))
+		for _, as := range plan.Jobs {
+			inPlan[as.JobID] = true
+		}
+		ids := make([]int64, 0, len(a.local))
+		for id := range a.local {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, k int) bool { return ids[i] < ids[k] })
+		for _, id := range ids {
+			if !inPlan[id] {
+				delete(a.local, id)
+			}
+		}
 	}
 	if traced {
 		a.tracer.End(execSpan)
@@ -180,6 +316,25 @@ type CentralConfig struct {
 	// (default 5 s of wall time).
 	ReportTimeout time.Duration
 
+	// CollectDeadline, when positive, overrides ReportTimeout as the
+	// straggler cutoff: the collect phase proceeds without agents
+	// that have not reported by then, charges their jobs as misses,
+	// and (with LeaseRounds > 0) reconciles their late reports
+	// idempotently in a following round.
+	CollectDeadline time.Duration
+
+	// LeaseRounds enables lease-based degraded mode: every plan
+	// grants the agent a lease of this many rounds. An agent cut off
+	// from the central keeps executing its latest plans on local
+	// state and buffers unacknowledged reports until the lease
+	// expires, then parks at the plan checkpoint; the central keeps
+	// the agent's placement sticky for suspectThreshold+LeaseRounds
+	// missed rounds and reconciles the buffered reports when the
+	// partition heals, so fairness books balance. It also bounds the
+	// late-report reconciliation window. Zero disables degraded mode
+	// and reconciliation — exactly the legacy protocol.
+	LeaseRounds int
+
 	// StrictReports makes a missing agent report a fatal error. By
 	// default the round proceeds without the silent agent's progress:
 	// its jobs simply make no progress this quantum and are replaced
@@ -210,6 +365,11 @@ type CentralConfig struct {
 	// for the central scheduler. Nil disables instrumentation at zero
 	// cost (all observer methods are nil-safe).
 	Obs *obs.Observer
+
+	// Trace, when non-nil, records protocol lifecycle events
+	// (lease-expiry, partition-heal, fence-reject) at simulated
+	// timestamps.
+	Trace *trace.Log
 }
 
 // Central is the coordinator. It reuses core.FairPolicy (or any
@@ -238,6 +398,33 @@ type Central struct {
 	prevGen  map[job.ID]gpu.Generation
 
 	usage map[job.UserID]float64
+
+	// Partition-tolerance state. epoch fences central incarnations
+	// (fresh = 1, restored = snapshot+1); dedup drops duplicate
+	// envelope deliveries; the rest implements idempotent late-report
+	// reconciliation: lastApplied is the newest round counted per
+	// job, appliedRound the newest round counted per agent (the
+	// plans' cumulative AckRound), appliedSet the per-(agent, round)
+	// idempotency record, plannedWin the retained window of what each
+	// agent was asked to run (what a late report may be charged
+	// against), and lateQ the late reports awaiting reconciliation.
+	epoch        int
+	dedup        *comm.Dedup
+	lastApplied  map[job.ID]int
+	appliedRound map[string]int
+	appliedSet   map[string]map[int]bool
+	plannedWin   map[int]map[string]map[job.ID]plannedEntry
+	lateQ        []comm.RoundReport
+}
+
+// plannedEntry is what the central recorded about one job's
+// assignment to one agent in one round, retained for LeaseRounds
+// rounds so a late report can be verified and charged exactly as the
+// on-time report would have been.
+type plannedEntry struct {
+	gen  gpu.Generation
+	gang int
+	frac float64
 }
 
 type agentInfo struct {
@@ -284,7 +471,9 @@ func NewCentral(tr comm.Transport, policy core.Policy, cfg CentralConfig) (*Cent
 		prev:     placement.Assignment{},
 		prevGen:  make(map[job.ID]gpu.Generation),
 		usage:    make(map[job.UserID]float64),
+		epoch:    1,
 	}
+	c.initProtocol()
 	c.retry = c.newRetrier()
 	c.pending = make([]job.Spec, len(cfg.Specs))
 	copy(c.pending, cfg.Specs)
@@ -300,10 +489,32 @@ func NewCentral(tr comm.Transport, policy core.Policy, cfg CentralConfig) (*Cent
 	return c, nil
 }
 
+// initProtocol builds the partition-tolerance state for a fresh or
+// restored central. Call after c.epoch is set.
+func (c *Central) initProtocol() {
+	c.dedup = comm.NewDedup()
+	c.lastApplied = make(map[job.ID]int)
+	c.appliedRound = make(map[string]int)
+	c.appliedSet = make(map[string]map[int]bool)
+	c.plannedWin = make(map[int]map[string]map[job.ID]plannedEntry)
+	c.cfg.Obs.SetEpoch(c.epoch)
+}
+
+// collectDeadline is the straggler cutoff for the collect phase.
+func (c *Central) collectDeadline() time.Duration {
+	if c.cfg.CollectDeadline > 0 {
+		return c.cfg.CollectDeadline
+	}
+	return c.cfg.ReportTimeout
+}
+
 // newRetrier builds the central's send retrier, instrumenting every
-// retry through the observer.
+// retry through the observer. The sequence space is epoch-salted so a
+// restarted central's envelopes are never mistaken for replays of its
+// predecessor's (or vice versa) by agents that kept dedup history.
 func (c *Central) newRetrier() *comm.Retrier {
 	pol := c.cfg.Retry
+	pol.SeqBase = uint64(c.epoch) << 32
 	user := pol.OnRetry
 	pol.OnRetry = func(n int, err error) {
 		c.cfg.Obs.NoteProtocol("send_retry")
@@ -312,6 +523,55 @@ func (c *Central) newRetrier() *comm.Retrier {
 		}
 	}
 	return comm.NewRetrier(pol)
+}
+
+// accept runs the protocol's receive-side defenses on one envelope:
+// checksum verification (corruption is detected and counted, never
+// applied) and duplicate-delivery suppression. Register messages are
+// exempt from dedup — a legitimately restarted agent restarts its
+// sequence space, so an accepted Register instead resets its peer's
+// history (registration itself is idempotent upstream).
+func (c *Central) accept(env comm.Envelope) bool {
+	if !comm.Verify(env) {
+		c.cfg.Obs.NoteProtocol("corrupt_detected")
+		return false
+	}
+	if _, isReg := env.Msg.(comm.Register); isReg {
+		c.dedup.Reset(env.From)
+		return true
+	}
+	if c.dedup.Duplicate(env.From, env.Seq) {
+		c.cfg.Obs.NoteProtocol("dup_dropped")
+		return false
+	}
+	return true
+}
+
+// fenced reports whether a round report belongs to a dead epoch.
+// Unfenced (epoch-0) reports from legacy peers pass.
+func (c *Central) fenced(rep comm.RoundReport) bool {
+	if rep.Epoch == 0 || rep.Epoch == c.epoch {
+		return false
+	}
+	c.cfg.Obs.NoteProtocol("fence_reject")
+	if c.cfg.Trace != nil {
+		c.cfg.Trace.Add(c.now, trace.KindFenceReject, 0, "",
+			fmt.Sprintf("report round %d epoch %d from %s (epoch now %d)", rep.Round, rep.Epoch, rep.Agent, c.epoch))
+	}
+	return true
+}
+
+// noteAlive records proof of life from an agent: its miss counter
+// resets, and if it had been cut off long enough to be suspected the
+// recovery is a partition heal.
+func (c *Central) noteAlive(agent string) {
+	if c.missed[agent] >= suspectThreshold {
+		c.cfg.Obs.NoteProtocol("partition_heal")
+		if c.cfg.Trace != nil {
+			c.cfg.Trace.Add(c.now, trace.KindPartitionHeal, 0, "", agent)
+		}
+	}
+	c.missed[agent] = 0
 }
 
 // WaitForAgents blocks until n distinct agents registered (or
@@ -327,6 +587,9 @@ func (c *Central) WaitForAgents(n int, timeout time.Duration) error {
 		case env, ok := <-c.tr.Recv():
 			if !ok {
 				return fmt.Errorf("distrib: transport closed during registration")
+			}
+			if !c.accept(env) {
+				continue
 			}
 			reg, isReg := env.Msg.(comm.Register)
 			if !isReg {
@@ -444,9 +707,11 @@ func (c *Central) handleRejoin(reg comm.Register) bool {
 }
 
 // drainControl processes queued control messages (rejoin
-// registrations) without blocking. Any round report still in the
-// inbox here is stale — its round is over — and is dropped, exactly
-// as the collect loop would drop it.
+// registrations) without blocking. Round reports found here arrived
+// after their round's collect phase closed — straggler or
+// partition-buffered traffic — and are queued for idempotent
+// reconciliation instead of dropped, so a healed agent's degraded-mode
+// work is credited.
 func (c *Central) drainControl() {
 	for {
 		select {
@@ -454,13 +719,120 @@ func (c *Central) drainControl() {
 			if !ok {
 				return
 			}
-			if reg, isReg := env.Msg.(comm.Register); isReg {
-				c.handleRejoin(reg)
+			if !c.accept(env) {
+				continue
+			}
+			switch m := env.Msg.(type) {
+			case comm.Register:
+				c.handleRejoin(m)
+			case comm.RoundReport:
+				if !c.fenced(m) {
+					c.lateQ = append(c.lateQ, m)
+				}
 			}
 		default:
 			return
 		}
 	}
+}
+
+// reconcileLate replays queued late reports against the retained
+// planning window before round `round` plans. Each (agent, round)
+// report is applied at most once, only for whole-job assignments the
+// central actually planned on that agent, and only when it advances
+// the job — so duplicated, reordered, and replayed backlog deliveries
+// are all safe. Any late report is proof of life and heals the
+// agent's failure detector even when its usage was already charged.
+// With LeaseRounds disabled the queue is drained without applying:
+// the legacy protocol has no reconciliation window.
+func (c *Central) reconcileLate(round int) {
+	if len(c.lateQ) == 0 {
+		return
+	}
+	reps := c.lateQ
+	c.lateQ = nil
+	// Oldest round first so multi-round backlogs replay in execution
+	// order; ties by agent for determinism.
+	sort.SliceStable(reps, func(i, k int) bool {
+		if reps[i].Round != reps[k].Round {
+			return reps[i].Round < reps[k].Round
+		}
+		return reps[i].Agent < reps[k].Agent
+	})
+	for _, rep := range reps {
+		c.noteAlive(rep.Agent)
+		if c.cfg.LeaseRounds <= 0 {
+			continue
+		}
+		if rep.Round >= round || rep.Round <= round-1-c.cfg.LeaseRounds {
+			continue // outside the reconciliation window
+		}
+		if c.appliedSet[rep.Agent][rep.Round] {
+			// Backlog replay of a round already counted: the
+			// idempotency record absorbs it.
+			c.cfg.Obs.NoteProtocol("late_report_dropped")
+			continue
+		}
+		planned := c.plannedWin[rep.Round][rep.Agent]
+		if planned == nil {
+			continue // never asked this agent to run that round
+		}
+		applied := false
+		for _, p := range rep.Jobs {
+			id := job.ID(p.JobID)
+			pe, ok := planned[id]
+			if !ok || pe.frac < 1 {
+				// Not planned here, or a cross-server shard: a shard's
+				// progress only means something merged with its
+				// siblings in the same round, which is gone.
+				continue
+			}
+			j := c.active[id]
+			if j == nil || j.Finished() {
+				continue
+			}
+			if c.lastApplied[id] >= rep.Round {
+				continue // a newer round already counted this job
+			}
+			if p.DoneMB < j.DoneMB()-1e-6 {
+				continue // stale progress; applying would move the job backwards
+			}
+			// Charge exactly as the on-time report would have been:
+			// the round's end time is in the past relative to c.now,
+			// but usage and progress are time-independent.
+			j.ApplyReport(p.DoneMB, pe.gen, float64(pe.gang)*p.UsedSecs, p.Finished, c.now)
+			c.usage[j.User] += float64(pe.gang) * c.cfg.Quantum
+			c.lastApplied[id] = rep.Round
+			if j.Finished() {
+				c.finishJob(id, j)
+			}
+			applied = true
+		}
+		if c.appliedSet[rep.Agent] == nil {
+			c.appliedSet[rep.Agent] = make(map[int]bool)
+		}
+		c.appliedSet[rep.Agent][rep.Round] = true
+		if rep.Round > c.appliedRound[rep.Agent] {
+			c.appliedRound[rep.Agent] = rep.Round
+		}
+		if applied {
+			c.cfg.Obs.NoteProtocol("late_report_applied")
+		} else {
+			c.cfg.Obs.NoteProtocol("late_report_dropped")
+		}
+	}
+}
+
+// finishJob retires a finished job from every scheduler structure.
+func (c *Central) finishJob(id job.ID, j *job.Job) {
+	c.done = append(c.done, j)
+	c.policy.JobFinished(id)
+	c.prof.Remove(id)
+	delete(c.active, id)
+	delete(c.prevGen, id)
+	delete(c.prev, id)
+	delete(c.lastApplied, id)
+	c.cfg.Obs.NoteFinish()
 }
 
 // Summary reports the distributed run's outcome.
@@ -581,12 +953,33 @@ func (c *Central) BusyAgents() []string {
 // agent's server down until it reports again.
 const suspectThreshold = 2
 
+// downThreshold is the miss count at which an agent's server is
+// treated as down. Leases extend the base threshold: a leased agent
+// may legitimately be executing in degraded mode for LeaseRounds
+// rounds, so its placement stays sticky that much longer.
+func (c *Central) downThreshold() int { return suspectThreshold + c.cfg.LeaseRounds }
+
+// noteMiss charges one missed report against an agent. When a leased
+// agent crosses the down threshold its lease has expired from the
+// central's point of view: the agent (if alive) parks at its next
+// plan, and its jobs become placeable elsewhere.
+func (c *Central) noteMiss(name string) {
+	c.missed[name]++
+	c.timeouts++
+	if c.cfg.LeaseRounds > 0 && c.missed[name] == c.downThreshold() {
+		c.cfg.Obs.NoteProtocol("lease_expired")
+		if c.cfg.Trace != nil {
+			c.cfg.Trace.Add(c.now, trace.KindLeaseExpire, 0, "", name)
+		}
+	}
+}
+
 // downServers returns servers whose agents are currently suspected
 // dead (failure detection by missed round reports).
 func (c *Central) downServers() map[gpu.ServerID]bool {
 	down := make(map[gpu.ServerID]bool)
 	for i, a := range c.agents {
-		if c.missed[a.name] >= suspectThreshold {
+		if c.missed[a.name] >= c.downThreshold() {
 			for sid, ai := range c.serverOf {
 				if ai == i {
 					down[sid] = true
@@ -600,6 +993,10 @@ func (c *Central) downServers() map[gpu.ServerID]bool {
 func (c *Central) runRound(round int) error {
 	o := c.cfg.Obs
 	c.drainControl()
+	// Reconcile before planning so plans carry the freshest checkpoint
+	// (a healed agent's backlog may have advanced jobs past what the
+	// central charged so far).
+	c.reconcileLate(round)
 	o.BeginRound(round, float64(c.now))
 	// Trace context shipped in every plan so agent spans join this
 	// round's trace (both zero when tracing is off).
@@ -719,9 +1116,22 @@ func (c *Central) runRound(round int) error {
 				shardFrac[id] = make(map[string]float64, 1)
 			}
 			shardFrac[id][c.agents[ai].name] = frac
+			if c.cfg.LeaseRounds > 0 {
+				// Retain what this agent was asked to run so a report
+				// arriving after the collect deadline can still be
+				// verified and charged (see reconcileLate).
+				name := c.agents[ai].name
+				if c.plannedWin[round] == nil {
+					c.plannedWin[round] = make(map[string]map[job.ID]plannedEntry)
+				}
+				if c.plannedWin[round][name] == nil {
+					c.plannedWin[round][name] = make(map[job.ID]plannedEntry)
+				}
+				c.plannedWin[round][name][id] = plannedEntry{gen: gen, gang: j.Gang, frac: frac}
+			}
 			plan.Jobs = append(plan.Jobs, comm.JobAssignment{
 				JobID: int64(id), User: string(j.User), Model: j.Perf.Model,
-				Gang: len(locals), LocalGPUs: locals,
+				Gang: len(locals), LocalGPUs: locals, Shard: frac,
 				DoneMB: j.DoneMB(), TotalMB: j.TotalMB,
 				GangRate: gangRate * frac,
 				Overhead: overhead,
@@ -743,13 +1153,15 @@ func (c *Central) runRound(round int) error {
 	for _, ai := range ais {
 		plan := plans[ai]
 		name := c.agents[ai].name
+		plan.Epoch = c.epoch
+		plan.Lease = c.cfg.LeaseRounds
+		plan.AckRound = c.appliedRound[name]
 		if err := c.retry.Send(c.tr, name, comm.Envelope{From: c.tr.Name(), Msg: *plan}); err != nil {
 			if c.cfg.StrictReports {
 				return fmt.Errorf("distrib: round %d: plan for %q undeliverable: %w", round, name, err)
 			}
 			o.NoteProtocol("plan_send_failed")
-			c.missed[name]++
-			c.timeouts++
+			c.noteMiss(name)
 			continue
 		}
 		o.NoteProtocol("plan_sent")
@@ -758,16 +1170,65 @@ func (c *Central) runRound(round int) error {
 	if c.timeouts > c.cfg.MaxAgentTimeouts {
 		return fmt.Errorf("distrib: %d missed agent reports, giving up", c.timeouts)
 	}
+	if c.cfg.LeaseRounds > 0 {
+		// Probe degraded agents that got no assignment: an empty plan
+		// paces a cut-off agent's protocol (ack, lease bookkeeping) and
+		// gives a healed report path something to answer, so recovery
+		// does not depend on the agent still hosting work. Probes are
+		// best-effort: no reply expected, failures charge nothing.
+		for i, a := range c.agents {
+			if c.missed[a.name] == 0 || plans[i] != nil {
+				continue
+			}
+			probe := comm.RoundPlan{
+				Round: round, Quantum: c.cfg.Quantum,
+				Epoch: c.epoch, Lease: c.cfg.LeaseRounds, AckRound: c.appliedRound[a.name],
+			}
+			if err := c.retry.Send(c.tr, a.name, comm.Envelope{From: c.tr.Name(), Msg: probe}); err != nil {
+				o.NoteProtocol("probe_send_failed")
+				continue
+			}
+			o.NoteProtocol("probe_sent")
+		}
+		// The reconciliation window slides: plans and applied-round
+		// records older than the lease can never be charged again.
+		floor := round - 1 - c.cfg.LeaseRounds
+		old := make([]int, 0, len(c.plannedWin))
+		for r := range c.plannedWin {
+			if r <= floor {
+				old = append(old, r)
+			}
+		}
+		sort.Ints(old)
+		for _, r := range old {
+			delete(c.plannedWin, r)
+		}
+		for _, a := range c.agents {
+			rounds := make([]int, 0, len(c.appliedSet[a.name]))
+			for r := range c.appliedSet[a.name] {
+				if r <= floor {
+					rounds = append(rounds, r)
+				}
+			}
+			sort.Ints(rounds)
+			for _, r := range rounds {
+				delete(c.appliedSet[a.name], r)
+			}
+		}
+	}
 	o.PhaseEnd(obs.PhaseDispatch)
 	o.PhaseStart(obs.PhaseCollect)
 	progress := make(map[job.ID]comm.JobProgress)
-	//gflint:ignore wallclock report-collection deadline on a real transport, not simulated time
-	deadline := time.After(c.cfg.ReportTimeout)
+	//gflint:ignore wallclock straggler-cutoff deadline on a real transport, not simulated time
+	deadline := time.After(c.collectDeadline())
 	for len(want) > 0 {
 		select {
 		case env, ok := <-c.tr.Recv():
 			if !ok {
 				return fmt.Errorf("distrib: transport closed mid-round")
+			}
+			if !c.accept(env) {
+				continue
 			}
 			if reg, isReg := env.Msg.(comm.Register); isReg {
 				// A crashed agent restarting mid-round; reconcile it
@@ -776,12 +1237,37 @@ func (c *Central) runRound(round int) error {
 				continue
 			}
 			rep, isRep := env.Msg.(comm.RoundReport)
-			if !isRep || rep.Round != round || !want[rep.Agent] {
+			if !isRep || c.fenced(rep) {
+				continue
+			}
+			if rep.Round < round {
+				// A straggler's earlier round or a healed agent's
+				// backlog: queue for idempotent reconciliation.
+				c.lateQ = append(c.lateQ, rep)
+				continue
+			}
+			if rep.Round != round || !want[rep.Agent] {
+				// Same-round traffic outside the want set — a probe
+				// answer or a replayed copy of a report already
+				// accepted. Proof of life, nothing to apply.
+				c.noteAlive(rep.Agent)
 				continue
 			}
 			delete(want, rep.Agent)
-			c.missed[rep.Agent] = 0
+			c.noteAlive(rep.Agent)
 			o.NoteProtocol("report_received")
+			if c.cfg.LeaseRounds > 0 {
+				// The on-time apply below counts this (agent, round);
+				// record that so backlog replays of the same round are
+				// never applied again, and the agent's ack advances.
+				if c.appliedSet[rep.Agent] == nil {
+					c.appliedSet[rep.Agent] = make(map[int]bool)
+				}
+				c.appliedSet[rep.Agent][round] = true
+				if round > c.appliedRound[rep.Agent] {
+					c.appliedRound[rep.Agent] = round
+				}
+			}
 			ctr.Inject(rep.Spans)
 			for _, p := range rep.Jobs {
 				id := job.ID(p.JobID)
@@ -810,25 +1296,32 @@ func (c *Central) runRound(round int) error {
 			if c.cfg.StrictReports {
 				return fmt.Errorf("distrib: round %d: %d agents did not report", round, len(want))
 			}
-			for range want {
-				o.NoteProtocol("report_timeout")
+			// Straggler cutoff: the round proceeds without the late
+			// agents. Their jobs are charged as misses now; with
+			// leases their reports reconcile idempotently when they
+			// arrive.
+			names := make([]string, 0, len(want))
+			for name := range want {
+				names = append(names, name)
 			}
-			c.timeouts += len(want)
+			sort.Strings(names)
+			for _, name := range names {
+				o.NoteProtocol("report_timeout")
+				c.noteMiss(name)
+			}
 			if c.timeouts > c.cfg.MaxAgentTimeouts {
 				return fmt.Errorf("distrib: %d missed agent reports, giving up", c.timeouts)
-			}
-			// Tolerate the silence: the missing agents' jobs make no
-			// progress this round; after suspectThreshold consecutive
-			// misses the agent's server is treated as down and its
-			// jobs migrate elsewhere.
-			for name := range want {
-				c.missed[name]++
 			}
 			want = map[string]bool{}
 		}
 	}
 
 	o.PhaseEnd(obs.PhaseCollect)
+	// Backlog that rode in with this round's reports reconciles before
+	// apply: an agent whose round-r report was delayed sends rounds
+	// r and r+1 together, and r must be charged first so r+1's apply
+	// sees monotone progress and both rounds count exactly once.
+	c.reconcileLate(round)
 
 	// Apply reports, exactly as the paper's central scheduler updates
 	// its view from server heartbeats.
@@ -845,8 +1338,16 @@ func (c *Central) runRound(round int) error {
 		}
 		gen := genOf[id]
 		gang := float64(gangOf[id])
+		if c.cfg.LeaseRounds > 0 && p.DoneMB < j.DoneMB() {
+			// A reconciled late report already advanced this job past
+			// the reported checkpoint (the plan was built from a stale
+			// base). The round still ran and is still charged; progress
+			// just never moves backwards.
+			p.DoneMB = j.DoneMB()
+		}
 		j.ApplyReport(p.DoneMB, gen, gang*p.UsedSecs, p.Finished, c.now.Add(c.cfg.Quantum))
 		c.usage[j.User] += gang * c.cfg.Quantum
+		c.lastApplied[id] = round
 		ranThisRound[id] = true
 		rep.Ran[id] = core.RanInfo{
 			User: j.User, Gen: gen, Gang: gangOf[id],
@@ -868,12 +1369,7 @@ func (c *Central) runRound(round int) error {
 			continue
 		}
 		if j.Finished() {
-			c.done = append(c.done, j)
-			c.policy.JobFinished(id)
-			c.prof.Remove(id)
-			delete(c.active, id)
-			delete(c.prevGen, id)
-			o.NoteFinish()
+			c.finishJob(id, j)
 			continue
 		}
 		newPrev[id] = devs
@@ -891,6 +1387,17 @@ func (c *Central) runRound(round int) error {
 	c.prev = newPrev
 	o.PhaseEnd(obs.PhaseApply)
 	c.publishShares()
+	o.SetEpoch(c.epoch)
+	deg := 0
+	if c.cfg.LeaseRounds > 0 {
+		thr := c.downThreshold()
+		for _, a := range c.agents {
+			if m := c.missed[a.name]; m > 0 && m < thr {
+				deg++
+			}
+		}
+	}
+	o.SetDegradedAgents(deg)
 	o.EndRound(len(c.active), len(c.pending))
 	return nil
 }

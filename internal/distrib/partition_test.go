@@ -1,0 +1,571 @@
+package distrib
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/job"
+	"repro/internal/obs"
+	"repro/internal/simclock"
+	"repro/internal/workload"
+)
+
+// oneJobSpecs builds a single single-GPU job sized to quanta quanta
+// of useful K80 time.
+func oneJobSpecs(t *testing.T, user string, quanta float64) []job.Spec {
+	t.Helper()
+	hours := quanta * 360 / simclock.Hour
+	specs, err := workload.AssignIDs(workload.BatchJobs(job.UserID(user), zoo.MustGet("lstm"), 1, 1, hours))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return specs
+}
+
+// TestReplayedReportCountedOnce is the idempotency regression test:
+// an agent that delivers every report twice (byte-identical envelope,
+// same seq) and additionally replays an old round's report under a
+// fresh sequence number must still be charged exactly once per round.
+// The duplicate copy dies at the dedup layer; the cross-round replay
+// reaches the reconciliation queue and dies against the per-(agent,
+// round) applied set.
+func TestReplayedReportCountedOnce(t *testing.T) {
+	hub := comm.NewHub()
+	central, err := hub.Attach("central")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := hub.Attach("agent-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAgent(tr, "central", gpu.K80, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	agentDone := make(chan error, 1)
+	go func() {
+		seq := uint64(1)
+		send := func(rep comm.RoundReport, s uint64) (comm.Envelope, error) {
+			e, err := comm.Seal(comm.Envelope{From: "agent-0", Seq: s, Msg: rep})
+			if err != nil {
+				return e, err
+			}
+			return e, tr.Send("central", e)
+		}
+		reg, err := comm.Seal(comm.Envelope{From: "agent-0", Seq: seq, Msg: comm.Register{
+			Agent: "agent-0", Gen: int(gpu.K80), GPUs: 1,
+		}})
+		if err != nil {
+			agentDone <- err
+			return
+		}
+		if err := tr.Send("central", reg); err != nil {
+			agentDone <- err
+			return
+		}
+		var rep1 comm.RoundReport
+		for env := range tr.Recv() {
+			switch m := env.Msg.(type) {
+			case comm.RoundPlan:
+				rep := a.execute(m)
+				seq++
+				e, err := send(rep, seq)
+				if err != nil {
+					agentDone <- err
+					return
+				}
+				// Deliver the exact same envelope again: the wire
+				// duplicated it.
+				if err := tr.Send("central", e); err != nil {
+					agentDone <- err
+					return
+				}
+				if m.Round == 1 {
+					rep1 = rep
+				}
+				if m.Round == 2 {
+					// Replay round 1's report as a fresh logical send
+					// (new seq, like a backlog resend): it must be
+					// recognized as already applied, not recharged.
+					seq++
+					if _, err := send(rep1, seq); err != nil {
+						agentDone <- err
+						return
+					}
+				}
+			case comm.Shutdown:
+				agentDone <- nil
+				return
+			}
+		}
+		agentDone <- nil
+	}()
+
+	ob := obs.New()
+	c, err := NewCentral(central, core.MustNewFairPolicy(core.FairConfig{}), CentralConfig{
+		Specs: oneJobSpecs(t, "alice", 2.2), Quantum: 360,
+		LeaseRounds: 2, CollectDeadline: 2 * time.Second, Obs: ob,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitForAgents(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := c.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-agentDone; err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Finished) != 1 {
+		t.Fatalf("finished %d jobs, want 1", len(sum.Finished))
+	}
+	// 2.2 quanta of work = exactly 3 charged rounds. Any double-count
+	// from the duplicated or replayed deliveries would show up here.
+	if got, want := sum.UsageByUser["alice"], 3*360.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("usage %v, want %v (each round charged exactly once)", got, want)
+	}
+	// Duplicates of rounds 1 and 2 are drained (and dropped) at the
+	// next round's start; the final round's duplicate arrives after
+	// the run is over, so only two are observable.
+	if n := ob.ProtocolEvents("dup_dropped"); n < 2 {
+		t.Errorf("dup_dropped = %v, want one per drained duplicate delivery (>= 2)", n)
+	}
+	if n := ob.ProtocolEvents("late_report_dropped"); n != 1 {
+		t.Errorf("late_report_dropped = %v, want exactly 1 (the cross-round replay)", n)
+	}
+	if n := ob.ProtocolEvents("late_report_applied"); n != 0 {
+		t.Errorf("late_report_applied = %v, want 0 (the replayed round was already counted)", n)
+	}
+}
+
+// fencePlan builds a minimal sealed plan for the agent-side fencing
+// tests: one endless job so every plan produces a report.
+func fencePlan(round, epoch int) comm.Envelope {
+	return comm.Envelope{From: "central", Msg: comm.RoundPlan{
+		Round: round, Epoch: epoch, Quantum: 360, Lease: 2,
+		Jobs: []comm.JobAssignment{{
+			JobID: 1, User: "u", Gang: 1, LocalGPUs: []int{0},
+			TotalMB: 1e9, GangRate: 1, Shard: 1,
+		}},
+	}}
+}
+
+// TestAgentFencesStaleEpochPlan drives a real agent from a
+// hand-rolled central: plans from an older epoch are rejected without
+// execution, duplicate rounds within an epoch are dropped, and a
+// newer epoch resets the agent's round horizon.
+func TestAgentFencesStaleEpochPlan(t *testing.T) {
+	hub := comm.NewHub()
+	ctr, err := hub.Attach("central")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := hub.Attach("agent-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAgent(tr, "central", gpu.K80, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob := obs.New()
+	a.SetObserver(ob)
+	done := make(chan error, 1)
+	go func() { done <- a.Run() }()
+
+	// Drain the agent's registration.
+	if _, ok := (<-ctr.Recv()).Msg.(comm.Register); !ok {
+		t.Fatal("expected Register first")
+	}
+	retry := comm.NewRetrier(comm.RetryPolicy{})
+	sendPlan := func(round, epoch int) {
+		t.Helper()
+		if err := retry.Send(ctr, "agent-0", fencePlan(round, epoch)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantReport := func(round, epoch int) {
+		t.Helper()
+		rep, ok := (<-ctr.Recv()).Msg.(comm.RoundReport)
+		if !ok || rep.Round != round || rep.Epoch != epoch {
+			t.Fatalf("got %+v, want report for round %d epoch %d", rep, round, epoch)
+		}
+	}
+
+	sendPlan(1, 2) // current incarnation
+	wantReport(1, 2)
+	sendPlan(2, 1) // stale epoch: a dead central's plan — fenced, no report
+	sendPlan(3, 2) // next live plan; its report must be the next message
+	wantReport(3, 2)
+	sendPlan(3, 2) // duplicated round within the epoch — dropped
+	sendPlan(1, 3) // new incarnation: round horizon resets, round 1 runs again
+	wantReport(1, 3)
+
+	if err := retry.Send(ctr, "agent-0", comm.Envelope{From: "central", Msg: comm.Shutdown{}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if n := ob.ProtocolEvents("fence_reject"); n != 1 {
+		t.Errorf("fence_reject = %v, want 1", n)
+	}
+	if n := ob.ProtocolEvents("stale_plan_dropped"); n != 1 {
+		t.Errorf("stale_plan_dropped = %v, want 1", n)
+	}
+}
+
+// TestCentralFencesStaleEpochReport exercises the central half of the
+// fence directly: reports from any epoch other than the central's own
+// are rejected; unfenced (epoch-0, legacy) reports pass.
+func TestCentralFencesStaleEpochReport(t *testing.T) {
+	hub := comm.NewHub()
+	ctr, err := hub.Attach("central")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob := obs.New()
+	c, err := NewCentral(ctr, core.MustNewFairPolicy(core.FairConfig{}), CentralConfig{
+		Specs: oneJobSpecs(t, "alice", 2), Obs: ob,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.epoch != 1 {
+		t.Fatalf("fresh central epoch = %d, want 1", c.epoch)
+	}
+	if c.fenced(comm.RoundReport{Agent: "a", Round: 1, Epoch: 0}) {
+		t.Error("legacy epoch-0 report fenced")
+	}
+	if c.fenced(comm.RoundReport{Agent: "a", Round: 1, Epoch: 1}) {
+		t.Error("current-epoch report fenced")
+	}
+	if !c.fenced(comm.RoundReport{Agent: "a", Round: 1, Epoch: 2}) {
+		t.Error("foreign-epoch report not fenced")
+	}
+	c.epoch = 3 // as if restored from a snapshot written at epoch 2
+	if !c.fenced(comm.RoundReport{Agent: "a", Round: 1, Epoch: 2}) {
+		t.Error("pre-restore epoch report not fenced")
+	}
+	if n := ob.ProtocolEvents("fence_reject"); n != 2 {
+		t.Errorf("fence_reject = %v, want 2", n)
+	}
+}
+
+// TestLeaseExpiryParksAtCheckpoint: an agent whose reports are never
+// acknowledged keeps training on local state for the lease duration,
+// then parks — discarding local progress and resyncing to the plan's
+// checkpoint — once the oldest unacknowledged round ages out.
+func TestLeaseExpiryParksAtCheckpoint(t *testing.T) {
+	hub := comm.NewHub()
+	ctr, err := hub.Attach("central")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := hub.Attach("agent-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAgent(tr, "central", gpu.K80, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob := obs.New()
+	a.SetObserver(ob)
+	done := make(chan error, 1)
+	go func() { done <- a.Run() }()
+	if _, ok := (<-ctr.Recv()).Msg.(comm.Register); !ok {
+		t.Fatal("expected Register first")
+	}
+
+	retry := comm.NewRetrier(comm.RetryPolicy{})
+	// Every plan carries the same stale checkpoint (DoneMB 0) and acks
+	// nothing — the central never heard a report.
+	sendPlan := func(round int) {
+		t.Helper()
+		if err := retry.Send(ctr, "agent-0", fencePlan(round, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recvReport := func() comm.RoundReport {
+		t.Helper()
+		rep, ok := (<-ctr.Recv()).Msg.(comm.RoundReport)
+		if !ok {
+			t.Fatal("expected RoundReport")
+		}
+		return rep
+	}
+
+	sendPlan(1)
+	r1 := recvReport() // round 1, fresh start: one quantum of progress
+	if r1.Jobs[0].DoneMB != 360 {
+		t.Fatalf("round 1 DoneMB = %v, want 360 (quantum at rate 1)", r1.Jobs[0].DoneMB)
+	}
+	sendPlan(2)
+	// The backlog resends round 1's report ahead of round 2's.
+	if rep := recvReport(); rep.Round != 1 {
+		t.Fatalf("expected backlog resend of round 1, got round %d", rep.Round)
+	}
+	r2 := recvReport()
+	// Degraded mode: round 2 continued from local progress (720),
+	// not the plan's stale checkpoint (0 + 360).
+	if r2.Jobs[0].DoneMB != 720 {
+		t.Errorf("round 2 DoneMB = %v, want 720 (local progress trusted under lease)", r2.Jobs[0].DoneMB)
+	}
+	// Round 5 with lease 2: the oldest unacked round (1) is <= 5-2, so
+	// the lease is spent. The agent parks: local state and backlog are
+	// dropped, and execution restarts from the plan's checkpoint.
+	sendPlan(5)
+	r5 := recvReport()
+	if r5.Round != 5 {
+		t.Fatalf("expected round 5 report (backlog discarded on park), got round %d", r5.Round)
+	}
+	if r5.Jobs[0].DoneMB != r1.Jobs[0].DoneMB {
+		t.Errorf("post-park DoneMB = %v, want %v (resynced to the plan checkpoint)",
+			r5.Jobs[0].DoneMB, r1.Jobs[0].DoneMB)
+	}
+	if n := ob.ProtocolEvents("lease_expired"); n != 1 {
+		t.Errorf("lease_expired = %v, want 1", n)
+	}
+
+	if err := retry.Send(ctr, "agent-0", comm.Envelope{From: "central", Msg: comm.Shutdown{}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStragglerCutoffReconcilesLateReport: an agent that withholds
+// its round-1 report is cut off at the collect deadline (the round
+// proceeds, charging a miss), then delivers the late report alongside
+// round 2's — the central reconciles it idempotently before applying
+// round 2, so every executed round is charged exactly once.
+func TestStragglerCutoffReconcilesLateReport(t *testing.T) {
+	hub := comm.NewHub()
+	central, err := hub.Attach("central")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := hub.Attach("agent-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAgent(tr, "central", gpu.K80, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	agentDone := make(chan error, 1)
+	go func() {
+		seq := uint64(1)
+		send := func(rep comm.RoundReport) error {
+			seq++
+			e, err := comm.Seal(comm.Envelope{From: "agent-0", Seq: seq, Msg: rep})
+			if err != nil {
+				return err
+			}
+			return tr.Send("central", e)
+		}
+		reg, err := comm.Seal(comm.Envelope{From: "agent-0", Seq: seq, Msg: comm.Register{
+			Agent: "agent-0", Gen: int(gpu.K80), GPUs: 1,
+		}})
+		if err != nil {
+			agentDone <- err
+			return
+		}
+		if err := tr.Send("central", reg); err != nil {
+			agentDone <- err
+			return
+		}
+		var withheld *comm.RoundReport
+		for env := range tr.Recv() {
+			switch m := env.Msg.(type) {
+			case comm.RoundPlan:
+				rep := a.execute(m)
+				if m.Round == 1 {
+					// Straggle: execute but stay silent past the
+					// deadline. Local state keeps the progress.
+					withheld = &rep
+					continue
+				}
+				if withheld != nil {
+					if err := send(*withheld); err != nil {
+						agentDone <- err
+						return
+					}
+					withheld = nil
+				}
+				if err := send(rep); err != nil {
+					agentDone <- err
+					return
+				}
+			case comm.Shutdown:
+				agentDone <- nil
+				return
+			}
+		}
+		agentDone <- nil
+	}()
+
+	ob := obs.New()
+	c, err := NewCentral(central, core.MustNewFairPolicy(core.FairConfig{}), CentralConfig{
+		Specs: oneJobSpecs(t, "alice", 2.2), Quantum: 360,
+		LeaseRounds: 3, CollectDeadline: 150 * time.Millisecond, Obs: ob,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitForAgents(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := c.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-agentDone; err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Finished) != 1 {
+		t.Fatalf("finished %d jobs, want 1", len(sum.Finished))
+	}
+	// Rounds 1 (late), 2 and 3 each charged once: the withheld report
+	// was reconciled, not lost and not double-counted, and the work it
+	// carried was never redone (the agent trusted local progress).
+	if got, want := sum.UsageByUser["alice"], 3*360.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("usage %v, want %v", got, want)
+	}
+	if n := ob.ProtocolEvents("report_timeout"); n != 1 {
+		t.Errorf("report_timeout = %v, want 1 (the straggler cutoff)", n)
+	}
+	if n := ob.ProtocolEvents("late_report_applied"); n != 1 {
+		t.Errorf("late_report_applied = %v, want 1", n)
+	}
+}
+
+// planWire wraps the central's transport: it force-fails the first
+// `fails` RoundPlan sends to one agent (registration acks and
+// shutdowns pass through) and duplicates every successful delivery.
+type planWire struct {
+	comm.Transport
+	mu     sync.Mutex
+	failTo string
+	fails  int
+}
+
+func (w *planWire) Send(to string, e comm.Envelope) error {
+	if _, isPlan := e.Msg.(comm.RoundPlan); isPlan {
+		w.mu.Lock()
+		fail := to == w.failTo && w.fails > 0
+		if fail {
+			w.fails--
+		}
+		w.mu.Unlock()
+		if fail {
+			return fmt.Errorf("planWire: dropped plan to %s", to)
+		}
+	}
+	if err := w.Transport.Send(to, e); err != nil {
+		return err
+	}
+	return w.Transport.Send(to, e) // the wire duplicates everything it carries
+}
+
+// TestUndeliverablePlanImmediateMiss: when a plan exhausts its send
+// retries the central charges the miss immediately — it does not
+// burn the collect deadline waiting for a report that can never come
+// — and the duplicated deliveries on the healthy links never
+// double-apply anywhere.
+func TestUndeliverablePlanImmediateMiss(t *testing.T) {
+	hub := comm.NewHub()
+	central, err := hub.Attach("central")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob := obs.New()
+	var waits []chan error
+	for i := 0; i < 2; i++ {
+		tr, err := hub.Attach(fmt.Sprintf("agent-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := NewAgent(tr, "central", gpu.K80, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.SetObserver(ob)
+		done := make(chan error, 1)
+		go func() { done <- a.Run() }()
+		waits = append(waits, done)
+	}
+
+	specs := append(oneJobSpecs(t, "alice", 2.2), oneJobSpecs(t, "bob", 2.2)...)
+	specs, err = workload.AssignIDs(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three attempts of one round-1 plan fail: an immediate miss.
+	wire := &planWire{Transport: central, failTo: "agent-1", fails: 3}
+	c, err := NewCentral(wire, core.MustNewFairPolicy(core.FairConfig{}), CentralConfig{
+		Specs: specs, Quantum: 360,
+		LeaseRounds: 3, CollectDeadline: 2 * time.Second, Obs: ob,
+		Retry: comm.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, Seed: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitForAgents(2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	sum, err := c.Run(10)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range waits {
+		if err := <-w; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(sum.Finished) != 2 {
+		t.Fatalf("finished %d jobs, want 2", len(sum.Finished))
+	}
+	// Both jobs get their exact 3 charged rounds; the cut-off job just
+	// starts one round later. Duplicated plans and reports changed
+	// nothing (dedup dropped them).
+	for _, u := range []job.UserID{"alice", "bob"} {
+		if got, want := sum.UsageByUser[u], 3*360.0; math.Abs(got-want) > 1e-9 {
+			t.Errorf("usage[%s] = %v, want %v", u, got, want)
+		}
+	}
+	if n := ob.ProtocolEvents("plan_send_failed"); n != 1 {
+		t.Errorf("plan_send_failed = %v, want 1", n)
+	}
+	if n := ob.ProtocolEvents("send_retry"); n < 2 {
+		t.Errorf("send_retry = %v, want >= 2 (the failed plan's retries)", n)
+	}
+	// The miss was immediate: no collect deadline was burned waiting
+	// for the unreachable agent (the deadline is 2 s per round; the
+	// whole run must finish well under one such wait).
+	if n := ob.ProtocolEvents("report_timeout"); n != 0 {
+		t.Errorf("report_timeout = %v, want 0 (miss charged at send time)", n)
+	}
+	if elapsed > time.Second {
+		t.Errorf("run took %v; an undeliverable plan must not wait out the collect deadline", elapsed)
+	}
+	if n := ob.ProtocolEvents("dup_dropped"); n == 0 {
+		t.Error("dup_dropped = 0, want > 0 (every delivery was duplicated)")
+	}
+}

@@ -34,18 +34,22 @@ type AgentState struct {
 // restored central re-dispatches from exactly the progress it had
 // acknowledged — agents stay stateless either way.
 type State struct {
-	SavedRound int                       `json:"saved_round"`
-	Now        simclock.Time             `json:"now"`
-	Timeouts   int                       `json:"timeouts"`
-	Agents     []AgentState              `json:"agents"`
-	Missed     map[string]int            `json:"missed,omitempty"`
-	Pending    []job.Spec                `json:"pending,omitempty"`
-	Active     []job.Checkpoint          `json:"active,omitempty"`
-	Done       []job.Checkpoint          `json:"done,omitempty"`
-	Prev       map[job.ID][]gpu.DeviceID `json:"prev,omitempty"`
-	PrevGen    map[job.ID]gpu.Generation `json:"prev_gen,omitempty"`
-	Usage      map[job.UserID]float64    `json:"usage,omitempty"`
-	Tickets    map[job.UserID]float64    `json:"tickets,omitempty"`
+	SavedRound int `json:"saved_round"`
+	// Epoch is the central incarnation that wrote the snapshot; a
+	// restore resumes at Epoch+1 so agents can fence the dead
+	// incarnation's straggling messages.
+	Epoch    int                       `json:"epoch,omitempty"`
+	Now      simclock.Time             `json:"now"`
+	Timeouts int                       `json:"timeouts"`
+	Agents   []AgentState              `json:"agents"`
+	Missed   map[string]int            `json:"missed,omitempty"`
+	Pending  []job.Spec                `json:"pending,omitempty"`
+	Active   []job.Checkpoint          `json:"active,omitempty"`
+	Done     []job.Checkpoint          `json:"done,omitempty"`
+	Prev     map[job.ID][]gpu.DeviceID `json:"prev,omitempty"`
+	PrevGen  map[job.ID]gpu.Generation `json:"prev_gen,omitempty"`
+	Usage    map[job.UserID]float64    `json:"usage,omitempty"`
+	Tickets  map[job.UserID]float64    `json:"tickets,omitempty"`
 }
 
 // Snapshot captures the scheduler's current state. Call between
@@ -53,6 +57,7 @@ type State struct {
 func (c *Central) Snapshot() *State {
 	st := &State{
 		SavedRound: c.rounds,
+		Epoch:      c.epoch,
 		Now:        c.now,
 		Timeouts:   c.timeouts,
 		Missed:     make(map[string]int, len(c.missed)),
@@ -202,7 +207,12 @@ func RestoreCentral(tr comm.Transport, policy core.Policy, cfg CentralConfig, st
 		now:      st.Now,
 		rounds:   st.SavedRound,
 		timeouts: st.Timeouts,
+		// A legacy snapshot (Epoch 0) restores as epoch 1, same as a
+		// fresh central; any newer snapshot bumps past its writer so
+		// the dead incarnation's traffic is fenced on both sides.
+		epoch: st.Epoch + 1,
 	}
+	c.initProtocol()
 	c.retry = c.newRetrier()
 	for _, a := range st.Agents {
 		g := gpu.Generation(a.Gen)

@@ -1,0 +1,67 @@
+package faults
+
+import "sort"
+
+// RoundInterval is a half-open range of scheduling rounds [From, To).
+// The zero value is empty.
+type RoundInterval struct {
+	From, To int
+}
+
+// Empty reports whether the interval covers no round.
+func (iv RoundInterval) Empty() bool { return iv.To <= iv.From }
+
+// RoundSet answers "is round r covered?" over a set of round
+// intervals, precompiled once into a sorted, merged span list — the
+// Timeline/Sweep idea applied to round-indexed schedules (the network
+// fault injector keys faults by scheduling round, not simulated
+// time). Queries are a binary search, and the compiled form is
+// immutable, so one RoundSet may be shared across goroutines.
+type RoundSet struct {
+	spans []RoundInterval
+}
+
+// CompileRounds normalizes ivs (drops empties, sorts, merges
+// overlapping and adjacent intervals) into a RoundSet.
+func CompileRounds(ivs []RoundInterval) *RoundSet {
+	spans := make([]RoundInterval, 0, len(ivs))
+	for _, iv := range ivs {
+		if !iv.Empty() {
+			spans = append(spans, iv)
+		}
+	}
+	if len(spans) == 0 {
+		return &RoundSet{}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].From < spans[j].From })
+	out := spans[:1]
+	for _, iv := range spans[1:] {
+		last := &out[len(out)-1]
+		if iv.From <= last.To {
+			if iv.To > last.To {
+				last.To = iv.To
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return &RoundSet{spans: out}
+}
+
+// Active reports whether round r falls inside any compiled interval.
+func (s *RoundSet) Active(r int) bool {
+	i := sort.Search(len(s.spans), func(i int) bool { return s.spans[i].To > r })
+	return i < len(s.spans) && s.spans[i].From <= r
+}
+
+// Empty reports whether no round is covered.
+func (s *RoundSet) Empty() bool { return len(s.spans) == 0 }
+
+// Bounds returns the first and one-past-last covered round (0,0 when
+// empty).
+func (s *RoundSet) Bounds() (from, to int) {
+	if len(s.spans) == 0 {
+		return 0, 0
+	}
+	return s.spans[0].From, s.spans[len(s.spans)-1].To
+}

@@ -172,6 +172,9 @@ type Observer struct {
 	shareFair      *GaugeVec
 	protoEvents    *CounterVec
 	faultEvents    *CounterVec
+	netFaults      map[string]*Counter
+	epochGauge     *Gauge
+	agentsDegraded *Gauge
 	quarServers    *Gauge
 	compDeficit    *GaugeVec
 	compRepaid     *Counter
@@ -257,6 +260,19 @@ func NewSized(ringSize int) *Observer {
 		"Distributed-protocol events by type.", "event")
 	o.faultEvents = reg.Counter("gf_faults_injected_total",
 		"Injected fault events by kind (server-down, job-crash, migration-fail, quarantine, degrade).", "kind")
+	o.netFaults = map[string]*Counter{
+		"drop":      reg.Counter("gf_net_dropped_total", "Messages the network fault injector silently dropped.").With(),
+		"dup":       reg.Counter("gf_net_duplicated_total", "Messages the network fault injector delivered twice.").With(),
+		"reorder":   reg.Counter("gf_net_reordered_total", "Messages the network fault injector reordered.").With(),
+		"delay":     reg.Counter("gf_net_delayed_total", "Messages the network fault injector delayed one round.").With(),
+		"corrupt":   reg.Counter("gf_net_corrupted_total", "Messages the network fault injector corrupted in flight.").With(),
+		"oneway":    reg.Counter("gf_net_oneway_refused_total", "Sends refused by an injected one-way partition.").With(),
+		"partition": reg.Counter("gf_net_partition_refused_total", "Sends refused by an injected full partition.").With(),
+	}
+	o.epochGauge = reg.Gauge("gf_epoch",
+		"Central scheduler epoch; increases across restarts and fences stale protocol traffic.").With()
+	o.agentsDegraded = reg.Gauge("gf_agents_degraded",
+		"Agents currently unheard-from but still inside their degraded-mode lease.").With()
 	o.quarServers = reg.Gauge("gf_servers_quarantined",
 		"Servers currently excluded by the quarantine circuit breaker.").With()
 	o.compDeficit = reg.Gauge("gf_user_comp_deficit_seconds",
@@ -620,6 +636,82 @@ func (o *Observer) NoteFault(kind string) {
 	}
 	o.mu.Unlock()
 	o.faultEvents.With(kind).Inc()
+}
+
+// NoteNet counts one injected network fault by kind (drop, dup,
+// reorder, delay, corrupt, oneway, partition). Unknown kinds are
+// ignored.
+func (o *Observer) NoteNet(kind string) {
+	if o == nil {
+		return
+	}
+	c := o.netFaults[kind]
+	if c == nil {
+		return
+	}
+	o.mu.Lock()
+	if o.sink != nil {
+		o.curEvents = append(o.curEvents, RoundEvent{Kind: "net", Name: kind})
+	}
+	o.mu.Unlock()
+	c.Inc()
+}
+
+// SetEpoch publishes the central scheduler's current epoch.
+func (o *Observer) SetEpoch(e int) {
+	if o == nil {
+		return
+	}
+	o.epochGauge.Set(float64(e))
+}
+
+// SetDegradedAgents publishes how many agents are currently
+// unheard-from but still covered by their lease.
+func (o *Observer) SetDegradedAgents(n int) {
+	if o == nil {
+		return
+	}
+	o.agentsDegraded.Set(float64(n))
+}
+
+// Epoch returns the published central epoch (0 for a nil Observer or
+// before any SetEpoch).
+func (o *Observer) Epoch() float64 {
+	if o == nil {
+		return 0
+	}
+	return o.epochGauge.Value()
+}
+
+// DegradedAgents returns the published degraded-agent count.
+func (o *Observer) DegradedAgents() float64 {
+	if o == nil {
+		return 0
+	}
+	return o.agentsDegraded.Value()
+}
+
+// ProtocolEvents returns the current count of one protocol event
+// (NoteProtocol's counter), for harness assertions. Zero for a nil
+// Observer.
+func (o *Observer) ProtocolEvents(event string) float64 {
+	if o == nil {
+		return 0
+	}
+	return o.protoEvents.With(event).Value()
+}
+
+// NetFaults returns the current count of one injected network fault
+// kind. Zero for a nil Observer or unknown kind.
+func (o *Observer) NetFaults(kind string) float64 {
+	if o == nil {
+		return 0
+	}
+	c := o.netFaults[kind]
+	if c == nil {
+		return 0
+	}
+	return c.Value()
 }
 
 // SetQuarantined publishes the current quarantined-server count.

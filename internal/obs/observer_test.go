@@ -183,16 +183,35 @@ func TestConcurrentScrape(t *testing.T) {
 			o.PhaseStart(PhaseExecute)
 			o.PhaseEnd(PhaseExecute)
 			o.RecordPlacement(int64(i), "u", "K80", 1, []int{0}, false, "")
+			o.NoteProtocol("dup_dropped")
+			o.NoteNet("drop")
+			o.NoteNet("dup")
+			o.NoteNet("reorder")
+			o.NoteNet("corrupt")
+			o.SetEpoch(1 + i%3)
+			o.SetDegradedAgents(i % 2)
 			o.EndRound(1, 0)
 		}
 	}()
+	var last string
 	for i := 0; i < 50; i++ {
 		var b strings.Builder
 		if err := o.Registry().WritePrometheus(&b); err != nil {
 			t.Fatal(err)
 		}
+		last = b.String()
 		o.Snapshot()
 	}
 	close(stop)
 	wg.Wait()
+	// The partition-tolerance metrics are part of the scrape surface.
+	for _, want := range []string{
+		"gf_net_dropped_total", "gf_net_duplicated_total",
+		"gf_net_reordered_total", "gf_net_corrupted_total",
+		"gf_epoch", "gf_agents_degraded",
+	} {
+		if !strings.Contains(last, want) {
+			t.Errorf("missing %q in scrape:\n%s", want, last)
+		}
+	}
 }

@@ -35,6 +35,11 @@ const (
 	KindUnquarantine Kind = "unquarantine" // quarantine cool-off expired
 	KindDegrade      Kind = "degrade"      // server entered degraded (slowed) state
 	KindDegradeEnd   Kind = "degrade-end"  // server back to full speed
+
+	// Partition-tolerance events (see internal/distrib).
+	KindLeaseExpire   Kind = "lease-expire"   // cut-off agent's lease ran out; it parks
+	KindPartitionHeal Kind = "partition-heal" // suspected agent reached the central again
+	KindFenceReject   Kind = "fence-reject"   // message from a dead central epoch rejected
 )
 
 // Event is one timestamped record.
